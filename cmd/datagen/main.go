@@ -1,0 +1,75 @@
+// Command datagen materializes the synthetic urban data sets to disk:
+// point sets as CSV (x,y,t,attrs... in Web-Mercator meters / unix seconds)
+// and region layers as GeoJSON.
+//
+// Usage:
+//
+//	datagen -out ./testdata -points 100000 -seed 2009
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	points := flag.Int("points", 100_000, "taxi points (311 gets 1/4, photos 1/8)")
+	seed := flag.Int64("seed", 2009, "generator seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	scene := workload.NYC(*points, *seed)
+	sets := []*data.PointSet{
+		scene.Taxi,
+		data.Generate(data.NYC311Config(*points/4, 2009, time.January, *seed+10)),
+		data.Generate(data.NYCPhotosConfig(*points/8, 2009, time.January, *seed+20)),
+	}
+	for _, ps := range sets {
+		path := filepath.Join(*out, ps.Name+".csv")
+		if err := writeCSV(path, ps); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", path, ps.Len())
+	}
+	for _, rs := range []*data.RegionSet{scene.Neighborhoods, scene.Tracts, scene.Grid} {
+		path := filepath.Join(*out, rs.Name+".geojson")
+		if err := writeGeoJSON(path, rs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d regions)\n", path, rs.Len())
+	}
+}
+
+func writeCSV(path string, ps *data.PointSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := data.WriteCSV(f, ps); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeGeoJSON(path string, rs *data.RegionSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := data.WriteGeoJSON(f, rs); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,78 @@
+// Command urbane-server runs the Urbane demo backend: it generates the
+// synthetic NYC workload, registers it with the framework, optionally
+// materializes a pre-aggregation cube, and serves the JSON API.
+//
+// Usage:
+//
+//	urbane-server -addr :8080 -points 1000000 -cube
+//
+// Endpoints (all JSON):
+//
+//	GET  /api/datasets  — registered data sets and layers
+//	POST /api/query     — {"stmt": "SELECT COUNT(*) FROM taxi, neighborhoods"}
+//	POST /api/mapview   — choropleth for the map view
+//	POST /api/explore   — multi-data-set time series
+//	POST /api/rank      — neighborhood similarity ranking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/urbane"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	points := flag.Int("points", 1_000_000, "taxi points to generate")
+	seed := flag.Int64("seed", 2009, "generator seed")
+	buildCube := flag.Bool("cube", false, "materialize a daily pre-aggregation cube for taxi x neighborhoods")
+	resolution := flag.Int("resolution", 1024, "raster join canvas resolution (longest side, pixels)")
+	accurate := flag.Bool("accurate", true, "use the exact hybrid raster join")
+	flag.Parse()
+
+	log.Printf("generating NYC workload: %d taxi points...", *points)
+	start := time.Now()
+	scene := workload.NYC(*points, *seed)
+	aux := []*data.PointSet{
+		data.Generate(data.NYC311Config(*points/4, 2009, time.January, *seed+10)),
+		data.Generate(data.NYCPhotosConfig(*points/8, 2009, time.January, *seed+20)),
+	}
+	log.Printf("generated in %v", time.Since(start).Round(time.Millisecond))
+
+	mode := core.Approximate
+	if *accurate {
+		mode = core.Accurate
+	}
+	f := urbane.New(core.NewRasterJoin(core.WithMode(mode), core.WithResolution(*resolution)))
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(f.AddPointSet(scene.Taxi))
+	for _, ps := range aux {
+		must(f.AddPointSet(ps))
+	}
+	must(f.AddRegionSet(scene.Neighborhoods))
+	must(f.AddRegionSet(scene.Tracts))
+	must(f.AddRegionSet(scene.Grid))
+
+	if *buildCube {
+		log.Printf("building daily pre-aggregation cube (taxi x neighborhoods)...")
+		start = time.Now()
+		c, err := f.BuildCube("taxi", "neighborhoods", 86400, []string{"fare"})
+		must(err)
+		log.Printf("cube: %d cells in %v", c.MemoryCells(), time.Since(start).Round(time.Millisecond))
+	}
+
+	log.Printf("urbane backend listening on %s", *addr)
+	fmt.Printf("try: curl -s localhost%s/api/datasets\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, urbane.NewServer(f)))
+}

@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: Raster Join,
+// which evaluates spatial aggregation queries
+//
+//	SELECT AGG(a_i) FROM P, R
+//	WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+//	GROUP BY R.id
+//
+// by converting them into drawing operations on a canvas and running them
+// through the (software-simulated) GPU rendering pipeline. Three variants
+// are provided:
+//
+//   - RasterJoin with a fixed canvas resolution — the unbounded approximate
+//     join; error depends on the pixel size.
+//   - RasterJoin with an error bound ε — bounded raster join: the canvas
+//     resolution is derived from ε and the render is tiled into multiple
+//     passes when it exceeds the device texture limit.
+//   - Accurate raster join — interior pixels are aggregated in raster
+//     space while fragments in boundary pixels take an exact
+//     point-in-polygon test, producing exact results.
+//
+// The package also defines the Request/Result vocabulary shared with the
+// baseline joiners (internal/index, internal/cube).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// Agg selects the aggregation function of a spatial aggregation query. The
+// paper names count and average as the common cases; sum is the primitive
+// average decomposes into.
+type Agg int
+
+const (
+	// Count counts joined points per region.
+	Count Agg = iota
+	// Sum totals an attribute over joined points per region.
+	Sum
+	// Avg averages an attribute over joined points per region.
+	Avg
+	// Min takes an attribute's minimum per region. On the GPU this is the
+	// MIN blend equation instead of additive blending.
+	Min
+	// Max takes an attribute's maximum per region (MAX blend equation).
+	Max
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// NeedsAttr reports whether the aggregate reads an attribute column.
+func (a Agg) NeedsAttr() bool {
+	switch a {
+	case Sum, Avg, Min, Max:
+		return true
+	}
+	return false
+}
+
+// Filter is one ad-hoc filterCondition: attribute value in [Min, Max).
+// These are the constraints pre-aggregation cannot serve and Raster Join
+// evaluates on the fly.
+type Filter struct {
+	Attr     string
+	Min, Max float64
+}
+
+// TimeFilter restricts points to timestamps in [Start, End).
+type TimeFilter struct {
+	Start, End int64
+}
+
+// Request is a spatial aggregation query: aggregate Agg(Attr) of the points
+// joined into each region, under the given filters.
+type Request struct {
+	Points  *data.PointSet
+	Regions *data.RegionSet
+	Agg     Agg
+	// Attr names the aggregated attribute for Sum/Avg.
+	Attr    string
+	Filters []Filter
+	// Time, when non-nil, restricts points to the window. If the point set
+	// is time-sorted this is evaluated by binary search instead of a
+	// predicate.
+	Time *TimeFilter
+}
+
+// Validate reports whether the request is well-formed against its data.
+func (r *Request) Validate() error {
+	if r.Points == nil || r.Regions == nil {
+		return errors.New("core: request needs points and regions")
+	}
+	if err := r.Points.Validate(); err != nil {
+		return err
+	}
+	if r.Agg.NeedsAttr() {
+		if r.Points.Attr(r.Attr) == nil {
+			return fmt.Errorf("core: %v needs attribute %q, not in point set %q",
+				r.Agg, r.Attr, r.Points.Name)
+		}
+	}
+	for _, f := range r.Filters {
+		if r.Points.Attr(f.Attr) == nil {
+			return fmt.Errorf("core: filter attribute %q not in point set %q",
+				f.Attr, r.Points.Name)
+		}
+	}
+	if r.Time != nil && r.Points.T == nil {
+		return fmt.Errorf("core: time filter on point set %q without timestamps", r.Points.Name)
+	}
+	return nil
+}
+
+// RegionStat accumulates the join result for one region. Min/Max are only
+// meaningful when Count > 0 (the zero value is an empty region).
+type RegionStat struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
+
+// Observe folds one attribute value into the stat.
+func (s *RegionStat) Observe(v float64) {
+	if s.Count == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Count++
+	s.Sum += v
+}
+
+// Merge folds another stat into this one (tile and shard accumulation).
+func (s *RegionStat) Merge(o RegionStat) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Value evaluates the aggregate from the accumulated state. Aggregates of
+// an empty region are 0.
+func (s RegionStat) Value(agg Agg) float64 {
+	switch agg {
+	case Count:
+		return float64(s.Count)
+	case Sum:
+		return s.Sum
+	case Avg:
+		if s.Count == 0 {
+			return 0
+		}
+		return s.Sum / float64(s.Count)
+	case Min:
+		if s.Count == 0 {
+			return 0
+		}
+		return s.Min
+	case Max:
+		if s.Count == 0 {
+			return 0
+		}
+		return s.Max
+	default:
+		return 0
+	}
+}
+
+// Result is the output of a spatial aggregation: one stat per region, in
+// region-set order, plus execution metadata.
+type Result struct {
+	Stats []RegionStat
+	// Algorithm identifies the joiner that produced the result.
+	Algorithm string
+	// CanvasW, CanvasH are the full canvas dimensions used by raster
+	// algorithms (0 for geometric joiners).
+	CanvasW, CanvasH int
+	// Tiles is the number of render passes the canvas was split into.
+	Tiles int
+	// PixelSize is the world-space pixel side length (0 for geometric
+	// joiners).
+	PixelSize float64
+}
+
+// Value returns the aggregate value for the i-th region.
+func (r *Result) Value(i int, agg Agg) float64 { return r.Stats[i].Value(agg) }
+
+// TotalCount sums the per-region counts (useful for conservation checks on
+// partitioning region sets).
+func (r *Result) TotalCount() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.Count
+	}
+	return n
+}
+
+// Joiner evaluates spatial aggregation requests. Implementations: Raster
+// Join (this package), index join and brute force (internal/index), and the
+// pre-aggregation cube (internal/cube, canned queries only).
+type Joiner interface {
+	Name() string
+	Join(req Request) (*Result, error)
+}
+
+// PointPredicate compiles the request's attribute filters into a single
+// per-point predicate, plus the index range to scan. With a time-sorted
+// point set the time filter narrows the range; otherwise it joins the
+// predicate.
+//
+// The returned pred is nil when no per-point test is needed (scan the whole
+// range).
+func PointPredicate(req Request) (lo, hi int, pred func(i int) bool, err error) {
+	ps := req.Points
+	lo, hi = 0, ps.Len()
+
+	var tests []func(i int) bool
+	if req.Time != nil {
+		sorted := true
+		for i := 1; i < len(ps.T); i++ {
+			if ps.T[i-1] > ps.T[i] {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			lo, hi = ps.TimeWindow(req.Time.Start, req.Time.End)
+		} else {
+			start, end := req.Time.Start, req.Time.End
+			t := ps.T
+			tests = append(tests, func(i int) bool { return t[i] >= start && t[i] < end })
+		}
+	}
+	for _, f := range req.Filters {
+		col := ps.Attr(f.Attr)
+		if col == nil {
+			return 0, 0, nil, fmt.Errorf("core: filter attribute %q missing", f.Attr)
+		}
+		min, max := f.Min, f.Max
+		tests = append(tests, func(i int) bool { return col[i] >= min && col[i] < max })
+	}
+	switch len(tests) {
+	case 0:
+		return lo, hi, nil, nil
+	case 1:
+		return lo, hi, tests[0], nil
+	default:
+		return lo, hi, func(i int) bool {
+			for _, t := range tests {
+				if !t(i) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// FlowResult is a sparse origin-destination matrix over region positions:
+// cell (o, d) counts the points whose origin lies in region o and whose
+// destination lies in region d — the query behind Urbane's taxi-flow view.
+// Destinations come from two attribute columns holding mercator
+// coordinates (data.DropoffXAttr / DropoffYAttr for the taxi generator).
+type FlowResult struct {
+	// Regions is the number of regions (matrix dimension).
+	Regions int
+	// Counts maps origin*Regions+destination to the flow count. Only
+	// non-zero cells are present.
+	Counts map[int64]int64
+	// Dropped counts points whose origin or destination fell outside every
+	// region (or the canvas).
+	Dropped int64
+	// Filtered counts points discarded by the filter conditions.
+	Filtered int64
+	// Algorithm, CanvasW/H, PixelSize mirror Result's metadata.
+	Algorithm        string
+	CanvasW, CanvasH int
+	PixelSize        float64
+}
+
+// At returns the flow count from origin region o to destination region d.
+func (f *FlowResult) At(o, d int) int64 { return f.Counts[int64(o)*int64(f.Regions)+int64(d)] }
+
+// Total returns the total assigned flow.
+func (f *FlowResult) Total() int64 {
+	var n int64
+	for _, v := range f.Counts {
+		n += v
+	}
+	return n
+}
+
+// Flow is one OD pair with its count, used for ranked reporting.
+type Flow struct {
+	From, To int
+	Count    int64
+}
+
+// Top returns the n largest flows, ties broken by (from, to) for
+// determinism.
+func (f *FlowResult) Top(n int) []Flow {
+	flows := make([]Flow, 0, len(f.Counts))
+	for cell, v := range f.Counts {
+		flows = append(flows, Flow{
+			From:  int(cell / int64(f.Regions)),
+			To:    int(cell % int64(f.Regions)),
+			Count: v,
+		})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Count != flows[j].Count {
+			return flows[i].Count > flows[j].Count
+		}
+		if flows[i].From != flows[j].From {
+			return flows[i].From < flows[j].From
+		}
+		return flows[i].To < flows[j].To
+	})
+	if n < len(flows) {
+		flows = flows[:n]
+	}
+	return flows
+}
+
+// FlowJoin evaluates the OD aggregation with the polygons-first pipeline:
+// the regions are rendered once into a polygon-ID texture, then each
+// filtered point reads the owner of its origin pixel and of its destination
+// pixel; one (o,d) matrix cell is incremented per point whose both ends
+// resolve. In Approximate mode assignment uses the pixel-center rule, so
+// per-end error is bounded by the pixel diagonal; in Accurate mode ends
+// landing in boundary pixels take exact point-in-polygon tests and the
+// matrix is exact. With overlapping regions each end resolves to its
+// first-matching region.
+//
+// dxAttr/dyAttr name the destination coordinate columns.
+func (r *RasterJoin) FlowJoin(req Request, dxAttr, dyAttr string) (*FlowResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	dx := req.Points.Attr(dxAttr)
+	dy := req.Points.Attr(dyAttr)
+	if dx == nil || dy == nil {
+		return nil, fmt.Errorf("core: flow needs destination columns %q/%q in point set %q",
+			dxAttr, dyAttr, req.Points.Name)
+	}
+	nr := req.Regions.Len()
+	out := &FlowResult{
+		Regions:   nr,
+		Counts:    make(map[int64]int64),
+		Algorithm: fmt.Sprintf("raster-flow-%dpx", r.resolution),
+	}
+	window := req.Regions.Bounds()
+	if window.IsEmpty() || req.Points.Len() == 0 || nr == 0 {
+		return out, nil
+	}
+	if r.epsilon > 0 {
+		return nil, fmt.Errorf("core: flow join runs at display resolution; ε mode unsupported")
+	}
+	full := r.fullTransform(window)
+	c, err := r.dev.NewCanvas(full.World, full.W, full.H)
+	if err != nil {
+		return nil, fmt.Errorf("core: flow join: %w (reduce the resolution)", err)
+	}
+	out.CanvasW, out.CanvasH = c.T.W, c.T.H
+	out.PixelSize = c.T.PixelWidth()
+
+	lo, hi, pred, err := PointPredicate(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// ID pass: first-drawn region owns each pixel. In accurate mode a
+	// region's fragments in its own boundary pixels are withheld, and per-
+	// boundary-pixel candidate lists drive exact resolution.
+	w := c.T.W
+	ids := make([]int32, c.T.W*c.T.H)
+	for i := range ids {
+		ids[i] = -1
+	}
+	var slotOf []int32
+	var candidates [][]int32
+	var scratch *raster.Bitmap
+	var regionPixels [][]int32
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		slotOf = make([]int32, c.T.W*c.T.H)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for s, idx := range boundaryList {
+			slotOf[idx] = int32(s)
+		}
+		candidates = make([][]int32, len(boundaryList))
+		for k := range regionPixels {
+			for _, idx := range regionPixels[k] {
+				candidates[slotOf[idx]] = append(candidates[slotOf[idx]], int32(k))
+			}
+		}
+		scratch = raster.NewBitmap(c.T.W, c.T.H)
+	}
+	regions := req.Regions.Regions
+	for k := range regions {
+		k32 := int32(k)
+		if scratch != nil {
+			for _, idx := range regionPixels[k] {
+				scratch.Set(int(idx)%w, int(idx)/w)
+			}
+		}
+		c.DrawPolygon(regions[k].Poly, func(px, py int) {
+			if scratch != nil && scratch.Get(px, py) {
+				return
+			}
+			i := py*w + px
+			if ids[i] == -1 {
+				ids[i] = k32
+			}
+		})
+		if scratch != nil {
+			for _, idx := range regionPixels[k] {
+				scratch.Unset(int(idx)%w, int(idx)/w)
+			}
+		}
+	}
+
+	// locate resolves a world point to its containing region (-1 = none):
+	// certain owner from the ID texture, or exact tests in boundary pixels.
+	locate := func(p geom.Point) int32 {
+		px, py, ok := c.T.ToPixel(p)
+		if !ok {
+			return -1
+		}
+		idx := py*w + px
+		if slotOf != nil {
+			if slot := slotOf[idx]; slot >= 0 {
+				for _, k := range candidates[slot] {
+					if regions[k].Poly.Contains(p) {
+						return k
+					}
+				}
+				return ids[idx] // certain owner covering the whole pixel
+			}
+		}
+		return ids[idx]
+	}
+
+	// OD pass: resolve both ends of every point. Destinations are mapped
+	// manually (they are attribute payloads, not the vertex position the
+	// device culls on). Points whose origin the canvas culls never reach
+	// the shader; they are outside every region and count as dropped.
+	ps := req.Points
+	shaded := int64(0)
+	c.DrawPoints(hi-lo,
+		func(j int) (float64, float64) { i := lo + j; return ps.X[i], ps.Y[i] },
+		func(px, py, j int) {
+			shaded++
+			i := lo + j
+			if pred != nil && !pred(i) {
+				out.Filtered++
+				return
+			}
+			o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
+			if o < 0 {
+				out.Dropped++
+				return
+			}
+			d := locate(geom.Point{X: dx[i], Y: dy[i]})
+			if d < 0 {
+				out.Dropped++
+				return
+			}
+			out.Counts[int64(o)*int64(nr)+int64(d)]++
+		})
+	out.Dropped += int64(hi-lo) - shaded
+	return out, nil
+}

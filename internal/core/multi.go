@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+)
+
+// AggSpec is one aggregate of a multi-aggregate join: its function,
+// attribute, and the per-aggregate constraints layered on top of the
+// request's own filters. Urbane's ranking view computes several metrics
+// over the same data and layer; MultiJoin evaluates them in one render
+// instead of one render per metric.
+type AggSpec struct {
+	Agg     Agg
+	Attr    string
+	Filters []Filter
+	Time    *TimeFilter
+}
+
+// MultiJoin evaluates all specs against the request's points and regions in
+// a single raster pipeline: one point pass feeding per-spec textures, one
+// polygon pass reading them all. The request's Agg/Attr are ignored; its
+// Filters and Time apply to every spec, and each spec's own Filters/Time
+// compose on top. Results are identical to running each spec as its own
+// Join, per mode.
+//
+// MultiJoin runs the points-first strategy (the texture-sharing win does
+// not exist polygons-first) and supports both Approximate and Accurate
+// modes, with tiling.
+func (r *RasterJoin) MultiJoin(req Request, specs []AggSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: MultiJoin needs at least one spec")
+	}
+	req.Agg = Count
+	req.Attr = ""
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-spec validation and predicate/attr resolution.
+	attrs := make([][]float64, len(specs))
+	preds := make([]func(int) bool, len(specs))
+	for s, spec := range specs {
+		if spec.Agg == Min || spec.Agg == Max {
+			return nil, fmt.Errorf("core: MultiJoin supports COUNT/SUM/AVG, not %v", spec.Agg)
+		}
+		if spec.Agg.NeedsAttr() {
+			attrs[s] = req.Points.Attr(spec.Attr)
+			if attrs[s] == nil {
+				return nil, fmt.Errorf("core: spec %d: %v needs attribute %q",
+					s, spec.Agg, spec.Attr)
+			}
+		}
+		if spec.Time != nil && req.Points.T == nil {
+			return nil, fmt.Errorf("core: spec %d: time filter on point set %q without timestamps",
+				s, req.Points.Name)
+		}
+		sub := Request{Points: req.Points, Regions: req.Regions,
+			Filters: spec.Filters, Time: spec.Time}
+		for _, f := range spec.Filters {
+			if req.Points.Attr(f.Attr) == nil {
+				return nil, fmt.Errorf("core: spec %d: filter attribute %q missing", s, f.Attr)
+			}
+		}
+		// Per-spec predicate evaluated on absolute indices; the time
+		// restriction folds into the predicate (different specs may carry
+		// different windows, so range narrowing happens only globally).
+		_, _, p, err := specPredicate(sub)
+		if err != nil {
+			return nil, err
+		}
+		preds[s] = p
+	}
+
+	results := make([]*Result, len(specs))
+	for s := range specs {
+		results[s] = &Result{
+			Stats:     make([]RegionStat, req.Regions.Len()),
+			Algorithm: r.Name() + "-multi",
+		}
+	}
+	window := req.Regions.Bounds()
+	if window.IsEmpty() || req.Points.Len() == 0 {
+		return results, nil
+	}
+	full := r.fullTransform(window)
+	for s := range results {
+		results[s].CanvasW, results[s].CanvasH = full.W, full.H
+		results[s].PixelSize = full.PixelWidth()
+	}
+	lo, hi, globalPred, err := PointPredicate(req)
+	if err != nil {
+		return nil, err
+	}
+
+	err = r.dev.Tiles(full, func(c *gpu.Canvas, offX, offY int) error {
+		for s := range results {
+			results[s].Tiles++
+		}
+		r.renderTileMulti(c, req, results, specs, attrs, preds, lo, hi, globalPred)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// specPredicate builds the per-point predicate for one spec's filters and
+// time window, without range narrowing.
+func specPredicate(req Request) (int, int, func(int) bool, error) {
+	if req.Time != nil {
+		// Force the predicate path: copy the request with an unsorted
+		// marker is unnecessary — PointPredicate narrows only when sorted,
+		// but narrowing returns (lo, hi) which we must not use per spec.
+		// Compose manually instead.
+		t := req.Points.T
+		start, end := req.Time.Start, req.Time.End
+		base := req
+		base.Time = nil
+		_, _, attrPred, err := PointPredicate(base)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		timePred := func(i int) bool { return t[i] >= start && t[i] < end }
+		if attrPred == nil {
+			return 0, 0, timePred, nil
+		}
+		return 0, 0, func(i int) bool { return timePred(i) && attrPred(i) }, nil
+	}
+	return PointPredicate(req)
+}
+
+// renderTileMulti is renderTile generalized to several aggregates sharing
+// the point and polygon passes.
+func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Result,
+	specs []AggSpec, attrs [][]float64, preds []func(int) bool,
+	lo, hi int, globalPred func(int) bool) {
+
+	w, h := c.T.W, c.T.H
+	ps := req.Points
+
+	var slotOf []int32
+	var bins [][]int32
+	var regionPixels [][]int32
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		slotOf = make([]int32, w*h)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for s, idx := range boundaryList {
+			slotOf[idx] = int32(s)
+		}
+		bins = make([][]int32, len(boundaryList))
+	}
+
+	// Point pass: one texture pair per spec.
+	countTex := make([]*gpu.Texture, len(specs))
+	sumTex := make([]*gpu.Texture, len(specs))
+	for s := range specs {
+		countTex[s] = gpu.NewTexture(w, h)
+		if attrs[s] != nil {
+			sumTex[s] = gpu.NewTexture(w, h)
+		}
+	}
+	r.drawPointsBatched(c, lo, hi,
+		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
+		func(px, py, i int) {
+			if globalPred != nil && !globalPred(i) {
+				return
+			}
+			any := false
+			for s := range specs {
+				if preds[s] != nil && !preds[s](i) {
+					continue
+				}
+				any = true
+				countTex[s].Add(px, py, 1)
+				if sumTex[s] != nil {
+					sumTex[s].Add(px, py, attrs[s][i])
+				}
+			}
+			if any && slotOf != nil {
+				if slot := slotOf[py*w+px]; slot >= 0 {
+					bins[slot] = append(bins[slot], int32(i))
+				}
+			}
+		})
+
+	// Polygon pass: one traversal per region accumulating every spec.
+	// Scratch boundary bitmaps are pooled across the parallel workers and
+	// returned clean.
+	var pool sync.Pool
+	pool.New = func() any { return raster.NewBitmap(w, h) }
+	regions := req.Regions.Regions
+	r.parallelRegions(len(regions), func(k int) {
+		poly := regions[k].Poly
+		cnt := make([]int64, len(specs))
+		sum := make([]float64, len(specs))
+
+		var scratch *raster.Bitmap
+		if r.mode == Accurate {
+			scratch = pool.Get().(*raster.Bitmap)
+			for _, idx := range regionPixels[k] {
+				scratch.Set(int(idx)%w, int(idx)/w)
+			}
+		}
+		c.DrawPolygon(poly, func(px, py int) {
+			if scratch != nil && scratch.Get(px, py) {
+				return
+			}
+			for s := range specs {
+				v := countTex[s].At(px, py)
+				if v == 0 {
+					continue
+				}
+				cnt[s] += int64(v)
+				if sumTex[s] != nil {
+					sum[s] += sumTex[s].At(px, py)
+				}
+			}
+		})
+		if scratch != nil {
+			for _, idx := range regionPixels[k] {
+				scratch.Unset(int(idx)%w, int(idx)/w)
+				for _, id := range bins[slotOf[idx]] {
+					p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
+					if !poly.Contains(p) {
+						continue
+					}
+					for s := range specs {
+						if preds[s] != nil && !preds[s](int(id)) {
+							continue
+						}
+						cnt[s]++
+						if attrs[s] != nil {
+							sum[s] += attrs[s][id]
+						}
+					}
+				}
+			}
+			pool.Put(scratch)
+		}
+		for s := range specs {
+			results[s].Stats[k].Count += cnt[s]
+			results[s].Stats[k].Sum += sum[s]
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+)
+
+// Strategy selects which side of the join is rasterized first.
+type Strategy int
+
+const (
+	// PointsFirst renders the points into count/sum textures, then probes
+	// them with one polygon draw per region — the default formulation.
+	// Work: O(points) + O(total polygon fragments) texture reads.
+	PointsFirst Strategy = iota
+	// PolygonsFirst renders the regions into a polygon-ID texture, then
+	// streams the points once, each fragment reading its pixel's region ID —
+	// the paper's alternative formulation. Work: O(total polygon fragments)
+	// + O(points) ID reads; it wins when regions cover many pixels or many
+	// aggregates share one polygon render.
+	PolygonsFirst
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == PolygonsFirst {
+		return "polygons-first"
+	}
+	return "points-first"
+}
+
+// WithStrategy selects the execution strategy (default PointsFirst).
+func WithStrategy(s Strategy) RJOption { return func(r *RasterJoin) { r.strategy = s } }
+
+// Strategy returns the configured execution strategy.
+func (r *RasterJoin) Strategy() Strategy { return r.strategy }
+
+// idState is the polygon-ID render target: one region ID per pixel, with an
+// overflow table for the (rare, or overlap-induced) pixels covered by more
+// than one region. IDs are region positions; -1 is empty.
+type idState struct {
+	w   int
+	ids []int32
+	// extra holds additional covering regions for pixels where ids is
+	// already taken — the multi-layer case real GPUs handle with k-buffer
+	// style tricks.
+	extra map[int32][]int32
+}
+
+func newIDState(w, h int) *idState {
+	s := &idState{w: w, ids: make([]int32, w*h), extra: make(map[int32][]int32)}
+	for i := range s.ids {
+		s.ids[i] = -1
+	}
+	return s
+}
+
+func (s *idState) add(px, py int, k int32) {
+	i := int32(py*s.w + px)
+	if s.ids[i] == -1 {
+		s.ids[i] = k
+		return
+	}
+	s.extra[i] = append(s.extra[i], k)
+}
+
+// owners calls fn with every region covering pixel index i.
+func (s *idState) owners(i int32, fn func(k int32)) {
+	if s.ids[i] == -1 {
+		return
+	}
+	fn(s.ids[i])
+	for _, k := range s.extra[i] {
+		fn(k)
+	}
+}
+
+// renderTilePolygonsFirst runs the polygons-first pipeline on one tile:
+//
+//  1. ID pass — every region is drawn into the polygon-ID texture. In
+//     accurate mode, fragments in the region's own boundary pixels are
+//     withheld from the ID texture (their membership is uncertain).
+//  2. Point pass — each filtered point reads its pixel's owner IDs and
+//     accumulates directly into those regions' slots. In accurate mode,
+//     points in boundary pixels instead take exact point-in-polygon tests
+//     against the regions whose boundaries cross that pixel.
+//
+// Aggregation per region slot uses shard-local accumulators: the point
+// stream is the only writer, so a single pass owns all slots.
+func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats []RegionStat,
+	lo, hi int, pred func(int) bool, attr []float64) {
+
+	w, h := c.T.W, c.T.H
+	ps := req.Points
+	regions := req.Regions.Regions
+	minMax := req.Agg == Min || req.Agg == Max
+
+	// Accurate mode: outline pass first, then candidate lists per boundary
+	// pixel (the regions whose edges cross it).
+	var slotOf []int32
+	var candidates [][]int32 // per boundary-pixel slot
+	var regionPixels [][]int32
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		slotOf = make([]int32, w*h)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for s, idx := range boundaryList {
+			slotOf[idx] = int32(s)
+		}
+		candidates = make([][]int32, len(boundaryList))
+		for k := range regionPixels {
+			for _, idx := range regionPixels[k] {
+				s := slotOf[idx]
+				candidates[s] = append(candidates[s], int32(k))
+			}
+		}
+	}
+
+	// Pass 1: polygon-ID texture. With accurate mode, a fragment in the
+	// region's own boundary pixel is withheld (its membership is resolved
+	// exactly below); a fragment in *another* region's boundary pixel is
+	// still certain — no edge of this region crosses that pixel, so the
+	// pixel lies entirely inside it.
+	idTex := newIDState(w, h)
+	var scratch *raster.Bitmap
+	if r.mode == Accurate {
+		scratch = raster.NewBitmap(w, h)
+	}
+	for k := range regions {
+		k32 := int32(k)
+		if scratch != nil {
+			for _, idx := range regionPixels[k] {
+				scratch.Set(int(idx)%w, int(idx)/w)
+			}
+		}
+		c.DrawPolygon(regions[k].Poly, func(px, py int) {
+			if scratch != nil && scratch.Get(px, py) {
+				return
+			}
+			idTex.add(px, py, k32)
+		})
+		if scratch != nil {
+			for _, idx := range regionPixels[k] {
+				scratch.Unset(int(idx)%w, int(idx)/w)
+			}
+		}
+	}
+
+	// Pass 2: stream the points, sharded across workers with per-shard
+	// accumulators (the GPU uses atomics; shard-merge is the deterministic
+	// software analogue).
+	workers := r.workers
+	n := hi - lo
+	if workers > 1 && n < 4096 {
+		workers = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shard := (n + workers - 1) / workers
+	if shard < 1 {
+		shard = 1
+	}
+	type partial struct {
+		stats []RegionStat
+	}
+	parts := make([]partial, 0, workers)
+	var wg sync.WaitGroup
+	for s := lo; s < hi; s += shard {
+		e := s + shard
+		if e > hi {
+			e = hi
+		}
+		p := partial{stats: make([]RegionStat, len(stats))}
+		parts = append(parts, p)
+		wg.Add(1)
+		go func(s, e int, part []RegionStat) {
+			defer wg.Done()
+			// Each shard issues its own (possibly batched) draw calls on
+			// the shared canvas.
+			r.drawPointsBatched(c, s, e,
+				func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
+				func(px, py, i int) {
+					if pred != nil && !pred(i) {
+						return
+					}
+					idx := int32(py*w + px)
+					accum := func(k int32) {
+						switch {
+						case minMax:
+							part[k].Observe(attr[i])
+						case attr != nil:
+							part[k].Count++
+							part[k].Sum += attr[i]
+						default:
+							part[k].Count++
+						}
+					}
+					if slotOf != nil {
+						if slot := slotOf[idx]; slot >= 0 {
+							// Boundary pixel: exact tests against crossing
+							// regions; certain owners still apply.
+							pt := geom.Point{X: ps.X[i], Y: ps.Y[i]}
+							for _, k := range candidates[slot] {
+								if regions[k].Poly.Contains(pt) {
+									accum(k)
+								}
+							}
+							idTex.owners(idx, accum)
+							return
+						}
+					}
+					idTex.owners(idx, accum)
+				})
+		}(s, e, p.stats)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		for k := range p.stats {
+			stats[k].Merge(p.stats[k])
+		}
+	}
+}

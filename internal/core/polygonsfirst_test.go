@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/index"
+)
+
+// Approximate mode: the two strategies implement the same coverage rule,
+// so their results must be identical pixel-for-pixel — counts exactly,
+// sums up to float association.
+func TestStrategiesAgreeApproximate(t *testing.T) {
+	ps, rs := scene(5000, 12, 201)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	for _, res := range []int{64, 256, 1024} {
+		pf := core.NewRasterJoin(core.WithResolution(res), core.WithStrategy(core.PolygonsFirst))
+		ptf := core.NewRasterJoin(core.WithResolution(res), core.WithStrategy(core.PointsFirst))
+		a, err := pf.Join(req)
+		if err != nil {
+			t.Fatalf("res %d: %v", res, err)
+		}
+		b, err := ptf.Join(req)
+		if err != nil {
+			t.Fatalf("res %d: %v", res, err)
+		}
+		statsExactlyEqual(t, a, b, pf.Name())
+	}
+}
+
+// Accurate + polygons-first must be exact, like accurate points-first.
+func TestPolygonsFirstAccurateIsExact(t *testing.T) {
+	ps, rs := scene(4000, 10, 203)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	want, err := (&index.BruteForce{}).Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []int{32, 128, 512} {
+		rj := core.NewRasterJoin(core.WithResolution(res),
+			core.WithMode(core.Accurate), core.WithStrategy(core.PolygonsFirst))
+		got, err := rj.Join(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsExactlyEqual(t, got, want, rj.Name())
+	}
+}
+
+func TestPolygonsFirstWithFiltersAndTiling(t *testing.T) {
+	ps, rs := scene(3000, 8, 205)
+	req := core.Request{
+		Points: ps, Regions: rs, Agg: core.Count,
+		Filters: []core.Filter{{Attr: "v", Min: 2, Max: 8}},
+		Time:    &core.TimeFilter{Start: 100, End: 2500},
+	}
+	want, err := (&index.BruteForce{}).Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := core.NewRasterJoin(core.WithResolution(256),
+		core.WithMode(core.Accurate), core.WithStrategy(core.PolygonsFirst),
+		core.WithDevice(gpu.New(gpu.WithMaxTextureSize(64))))
+	got, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tiles < 16 {
+		t.Fatalf("tiles = %d, want >= 16", got.Tiles)
+	}
+	statsExactlyEqual(t, got, want, "polygons-first accurate tiled")
+}
+
+// Overlapping regions: both strategies must count a point once per
+// covering region (the overflow path in the ID texture).
+func TestPolygonsFirstOverlappingRegions(t *testing.T) {
+	ps, _ := scene(2000, 4, 207)
+	// Two heavily overlapping discs plus one disjoint square.
+	rs := &data.RegionSet{Name: "overlap", Regions: []data.Region{
+		{ID: 0, Name: "a", Poly: geom.NewPolygon(geom.RegularRing(geom.Pt(400, 400), 250, 48))},
+		{ID: 1, Name: "b", Poly: geom.NewPolygon(geom.RegularRing(geom.Pt(500, 450), 250, 48))},
+		{ID: 2, Name: "c", Poly: geom.NewPolygon(geom.RectRing(
+			geom.BBox{MinX: 800, MinY: 800, MaxX: 950, MaxY: 950}))},
+	}}
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	want, err := (&index.BruteForce{}).Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.Approximate, core.Accurate} {
+		rj := core.NewRasterJoin(core.WithResolution(512),
+			core.WithMode(mode), core.WithStrategy(core.PolygonsFirst))
+		got, err := rj.Join(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == core.Accurate {
+			statsExactlyEqual(t, got, want, "overlap accurate")
+			continue
+		}
+		// Approximate: close to exact at 512px.
+		for k := range want.Stats {
+			diff := got.Stats[k].Count - want.Stats[k].Count
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > want.Stats[k].Count/20+10 {
+				t.Errorf("overlap approx region %d: %d vs %d",
+					k, got.Stats[k].Count, want.Stats[k].Count)
+			}
+		}
+	}
+}
+
+func TestPolygonsFirstParallelDeterministicCounts(t *testing.T) {
+	ps, rs := scene(6000, 10, 209)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	one := core.NewRasterJoin(core.WithResolution(256),
+		core.WithStrategy(core.PolygonsFirst), core.WithWorkers(1))
+	many := core.NewRasterJoin(core.WithResolution(256),
+		core.WithStrategy(core.PolygonsFirst), core.WithWorkers(8))
+	a, err := one.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := many.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsExactlyEqual(t, b, a, "polygons-first workers")
+}
+
+// Streaming the points in small vertex-buffer batches must not change
+// results for either strategy — the GPU-memory-bound path is pure
+// re-batching.
+func TestPointBatchingInvariant(t *testing.T) {
+	ps, rs := scene(4000, 8, 211)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	for _, strat := range []core.Strategy{core.PointsFirst, core.PolygonsFirst} {
+		whole := core.NewRasterJoin(core.WithResolution(256),
+			core.WithStrategy(strat), core.WithMode(core.Accurate))
+		batched := core.NewRasterJoin(core.WithResolution(256),
+			core.WithStrategy(strat), core.WithMode(core.Accurate),
+			core.WithPointBatch(137))
+		a, err := whole.Join(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batched.Join(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsExactlyEqual(t, b, a, strat.String()+" batched")
+		// The device must actually have issued more draw calls.
+		if ds, bs := whole.Device().Stats(), batched.Device().Stats(); bs.DrawCalls <= ds.DrawCalls {
+			t.Errorf("%v: batched draw calls %d <= unbatched %d",
+				strat, bs.DrawCalls, ds.DrawCalls)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	pf := core.NewRasterJoin(core.WithStrategy(core.PolygonsFirst))
+	if pf.Strategy() != core.PolygonsFirst {
+		t.Error("Strategy() wrong")
+	}
+	if got := pf.Name(); got != "raster-join-approximate-1024px-pf" {
+		t.Errorf("name = %q", got)
+	}
+	if core.PolygonsFirst.String() != "polygons-first" ||
+		core.PointsFirst.String() != "points-first" {
+		t.Error("Strategy.String wrong")
+	}
+}

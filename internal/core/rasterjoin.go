@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+)
+
+// Mode selects the raster join variant.
+type Mode int
+
+const (
+	// Approximate assigns every point the pixel-center classification of
+	// its pixel — the paper's plain raster join. Points within one pixel
+	// diagonal of a region boundary may be misassigned.
+	Approximate Mode = iota
+	// Accurate keeps raster-space aggregation for interior pixels but runs
+	// an exact point-in-polygon test for fragments in boundary pixels,
+	// producing exact results — the paper's hybrid accurate variant.
+	Accurate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Accurate {
+		return "accurate"
+	}
+	return "approximate"
+}
+
+// RasterJoin evaluates spatial aggregations on the GPU device by drawing.
+// Construct with NewRasterJoin; the zero value is not usable.
+type RasterJoin struct {
+	dev        *gpu.Device
+	mode       Mode
+	strategy   Strategy
+	resolution int
+	epsilon    float64
+	workers    int
+	pointBatch int
+}
+
+// RJOption configures a RasterJoin.
+type RJOption func(*RasterJoin)
+
+// WithDevice renders on the given device (default: a fresh device with
+// default limits).
+func WithDevice(d *gpu.Device) RJOption { return func(r *RasterJoin) { r.dev = d } }
+
+// WithMode selects Approximate (default) or Accurate.
+func WithMode(m Mode) RJOption { return func(r *RasterJoin) { r.mode = m } }
+
+// WithResolution sets the canvas size (longest side, pixels) used when no
+// error bound is given. This is the screen-resolution-driven mode the map
+// view uses. Default 1024.
+func WithResolution(n int) RJOption {
+	return func(r *RasterJoin) {
+		if n > 0 {
+			r.resolution = n
+		}
+	}
+}
+
+// WithEpsilon activates bounded raster join: the canvas resolution is chosen
+// so each pixel's diagonal is at most eps world units, guaranteeing that
+// only points within eps of a region boundary can be misassigned. The
+// canvas is tiled into multiple passes when it exceeds the device limit.
+func WithEpsilon(eps float64) RJOption {
+	return func(r *RasterJoin) {
+		if eps > 0 {
+			r.epsilon = eps
+		}
+	}
+}
+
+// WithWorkers caps render parallelism (default: GOMAXPROCS). The software
+// device parallelizes across polygons; on a real GPU this is shader-core
+// occupancy.
+func WithWorkers(n int) RJOption {
+	return func(r *RasterJoin) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithPointBatch caps the number of point vertices submitted per draw call,
+// modelling the GPU vertex-buffer budget: data sets larger than GPU memory
+// are streamed in batches, exactly as the paper's implementation does.
+// Results are identical regardless of batch size. <= 0 (default) submits
+// everything in one draw.
+func WithPointBatch(n int) RJOption {
+	return func(r *RasterJoin) {
+		if n > 0 {
+			r.pointBatch = n
+		}
+	}
+}
+
+// drawPointsBatched streams point indices [lo, hi) to the canvas in
+// batches of at most pointBatch vertices. pos and shader receive absolute
+// point indices.
+func (r *RasterJoin) drawPointsBatched(c *gpu.Canvas, lo, hi int,
+	pos func(i int) (float64, float64), shader func(px, py, i int)) {
+
+	batch := r.pointBatch
+	if batch <= 0 {
+		batch = hi - lo
+	}
+	for s := lo; s < hi; s += batch {
+		e := s + batch
+		if e > hi {
+			e = hi
+		}
+		base := s
+		c.DrawPoints(e-s,
+			func(j int) (float64, float64) { return pos(base + j) },
+			func(px, py, j int) { shader(px, py, base+j) })
+	}
+}
+
+// NewRasterJoin returns a configured raster joiner.
+func NewRasterJoin(opts ...RJOption) *RasterJoin {
+	r := &RasterJoin{
+		mode:       Approximate,
+		resolution: 1024,
+		workers:    runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.dev == nil {
+		r.dev = gpu.New()
+	}
+	return r
+}
+
+// Name implements Joiner.
+func (r *RasterJoin) Name() string {
+	suffix := ""
+	if r.strategy == PolygonsFirst {
+		suffix = "-pf"
+	}
+	if r.epsilon > 0 {
+		return fmt.Sprintf("raster-join-%s-eps%g%s", r.mode, r.epsilon, suffix)
+	}
+	return fmt.Sprintf("raster-join-%s-%dpx%s", r.mode, r.resolution, suffix)
+}
+
+// Epsilon returns the configured error bound (0 when resolution-driven).
+func (r *RasterJoin) Epsilon() float64 { return r.epsilon }
+
+// Device returns the GPU device the joiner renders on.
+func (r *RasterJoin) Device() *gpu.Device { return r.dev }
+
+// Join implements Joiner.
+func (r *RasterJoin) Join(req Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:     make([]RegionStat, req.Regions.Len()),
+		Algorithm: r.Name(),
+	}
+	window := req.Regions.Bounds()
+	if window.IsEmpty() || req.Points.Len() == 0 {
+		return res, nil
+	}
+
+	full := r.fullTransform(window)
+	res.CanvasW, res.CanvasH = full.W, full.H
+	res.PixelSize = full.PixelWidth()
+
+	lo, hi, pred, err := PointPredicate(req)
+	if err != nil {
+		return nil, err
+	}
+	var attr []float64
+	if req.Agg.NeedsAttr() {
+		attr = req.Points.Attr(req.Attr)
+	}
+
+	err = r.dev.Tiles(full, func(c *gpu.Canvas, offX, offY int) error {
+		res.Tiles++
+		if r.strategy == PolygonsFirst {
+			r.renderTilePolygonsFirst(c, req, res.Stats, lo, hi, pred, attr)
+		} else {
+			r.renderTile(c, req, res.Stats, lo, hi, pred, attr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fullTransform derives the full-resolution canvas transform from either the
+// error bound (pixel diagonal <= epsilon) or the display resolution.
+func (r *RasterJoin) fullTransform(window geom.BBox) raster.Transform {
+	var pixel float64
+	if r.epsilon > 0 {
+		pixel = r.epsilon / math.Sqrt2
+	} else {
+		pixel = math.Max(window.Width(), window.Height()) / float64(r.resolution)
+	}
+	if pixel <= 0 {
+		pixel = 1
+	}
+	return raster.SquareTransform(window, pixel)
+}
+
+// renderTile runs the drawing passes for one canvas tile, accumulating into
+// stats. The passes mirror the paper's shader pipeline:
+//
+//  1. Point pass — filtered points are drawn with additive blending into a
+//     per-pixel count texture and (for SUM/AVG) an attribute-sum texture.
+//  2. Polygon pass — each region is drawn; every covered fragment adds the
+//     point textures into the region's accumulator.
+//  3. (Accurate only) Outline pass + exact pass — fragments in boundary
+//     pixels are excluded from pass 2 and instead resolved by exact
+//     point-in-polygon tests against the points binned in those pixels.
+func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
+	lo, hi int, pred func(int) bool, attr []float64) {
+
+	w, h := c.T.W, c.T.H
+	ps := req.Points
+
+	// Accurate: outline pass first — point binning below needs to know
+	// which pixels are boundary pixels for some region. slotOf maps a
+	// boundary pixel's index to a dense bucket slot (-1 elsewhere), so the
+	// hot point loop pays one array lookup instead of a map operation.
+	var slotOf []int32
+	var bins [][]int32
+	var regionPixels [][]int32
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		slotOf = make([]int32, w*h)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for s, idx := range boundaryList {
+			slotOf[idx] = int32(s)
+		}
+		bins = make([][]int32, len(boundaryList))
+	}
+
+	// Pass 1: point textures. COUNT/SUM/AVG blend additively; MIN/MAX use
+	// the min/max blend equations over targets initialized to ±Inf.
+	countTex := gpu.NewTexture(w, h)
+	var sumTex, minTex, maxTex *gpu.Texture
+	switch req.Agg {
+	case Sum, Avg:
+		sumTex = gpu.NewTexture(w, h)
+	case Min:
+		minTex = gpu.NewTexture(w, h)
+		minTex.Fill(math.Inf(1))
+	case Max:
+		maxTex = gpu.NewTexture(w, h)
+		maxTex.Fill(math.Inf(-1))
+	}
+	r.drawPointsBatched(c, lo, hi,
+		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
+		func(px, py, i int) {
+			if pred != nil && !pred(i) {
+				return // fragment discarded by the filter condition
+			}
+			countTex.Add(px, py, 1)
+			switch {
+			case sumTex != nil:
+				sumTex.Add(px, py, attr[i])
+			case minTex != nil:
+				minTex.TakeMin(px, py, attr[i])
+			case maxTex != nil:
+				maxTex.TakeMax(px, py, attr[i])
+			}
+			if slotOf != nil {
+				if s := slotOf[py*w+px]; s >= 0 {
+					bins[s] = append(bins[s], int32(i))
+				}
+			}
+		})
+
+	// Passes 2 and 3: per-region accumulation, parallel across regions
+	// (each region owns its stats slot; textures and bins are read-only).
+	regions := req.Regions.Regions
+	workers := r.workers
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			var scratch *raster.Bitmap
+			if r.mode == Accurate {
+				scratch = raster.NewBitmap(w, h)
+			}
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(regions) {
+					return
+				}
+				poly := regions[k].Poly
+				var local RegionStat
+
+				if scratch != nil {
+					for _, idx := range regionPixels[k] {
+						scratch.Set(int(idx)%w, int(idx)/w)
+					}
+				}
+				c.DrawPolygon(poly, func(px, py int) {
+					if scratch != nil && scratch.Get(px, py) {
+						return // boundary fragment: resolved exactly below
+					}
+					v := countTex.At(px, py)
+					if v == 0 {
+						return
+					}
+					pixel := RegionStat{Count: int64(v)}
+					switch {
+					case sumTex != nil:
+						pixel.Sum = sumTex.At(px, py)
+					case minTex != nil:
+						m := minTex.At(px, py)
+						pixel.Min, pixel.Max = m, m
+					case maxTex != nil:
+						m := maxTex.At(px, py)
+						pixel.Min, pixel.Max = m, m
+					}
+					local.Merge(pixel)
+				})
+				if scratch != nil {
+					for _, idx := range regionPixels[k] {
+						px, py := int(idx)%w, int(idx)/w
+						scratch.Unset(px, py)
+						for _, id := range bins[slotOf[idx]] {
+							p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
+							if !poly.Contains(p) {
+								continue
+							}
+							switch {
+							case minTex != nil || maxTex != nil:
+								local.Observe(attr[id])
+							case attr != nil:
+								local.Count++
+								local.Sum += attr[id]
+							default:
+								local.Count++
+							}
+						}
+					}
+				}
+				stats[k].Merge(local)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// outlinePass conservatively rasterizes every region's boundary, returning
+// the deduplicated union list of boundary pixel indices and, per region,
+// its own deduplicated boundary pixel indices within this tile.
+func (r *RasterJoin) outlinePass(c *gpu.Canvas, regions *data.RegionSet) ([]int32, [][]int32) {
+	w, h := c.T.W, c.T.H
+	global := raster.NewBitmap(w, h)
+	var globalList []int32
+	per := make([][]int32, regions.Len())
+	scratch := raster.NewBitmap(w, h)
+	var touched []int32
+	for k := range regions.Regions {
+		touched = touched[:0]
+		c.DrawPolygonOutline(regions.Regions[k].Poly, func(px, py int) {
+			if scratch.Get(px, py) {
+				return
+			}
+			scratch.Set(px, py)
+			idx := int32(py*w + px)
+			touched = append(touched, idx)
+			if !global.Get(px, py) {
+				global.Set(px, py)
+				globalList = append(globalList, idx)
+			}
+		})
+		if len(touched) > 0 {
+			per[k] = append([]int32(nil), touched...)
+			for _, idx := range touched {
+				scratch.Unset(int(idx)%w, int(idx)/w)
+			}
+		}
+	}
+	return globalList, per
+}

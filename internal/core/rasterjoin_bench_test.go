@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkRasterJoinModes(b *testing.B) {
+	ps, rs := scene(100_000, 32, 101)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	for _, mode := range []core.Mode{core.Approximate, core.Accurate} {
+		rj := core.NewRasterJoin(core.WithResolution(512), core.WithMode(mode))
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rj.Join(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRasterJoinResolution(b *testing.B) {
+	ps, rs := scene(100_000, 32, 103)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	for _, res := range []int{256, 1024, 2048} {
+		rj := core.NewRasterJoin(core.WithResolution(res))
+		b.Run(fmt.Sprintf("%dpx", res), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rj.Join(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRasterJoinAggregates(b *testing.B) {
+	ps, rs := scene(100_000, 32, 105)
+	rj := core.NewRasterJoin(core.WithResolution(512))
+	for _, agg := range []core.Agg{core.Count, core.Avg} {
+		req := core.Request{Points: ps, Regions: rs, Agg: agg, Attr: "v"}
+		b.Run(agg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rj.Join(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSeriesJoinVsPerBin(b *testing.B) {
+	ps, rs := scene(200_000, 32, 107)
+	rj := core.NewRasterJoin(core.WithResolution(512))
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	const bins = 12
+	end := int64(ps.Len())
+	b.Run("series", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rj.SeriesJoin(req, 0, end, bins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-bin", func(b *testing.B) {
+		width := end / bins
+		for i := 0; i < b.N; i++ {
+			for bin := 0; bin < bins; bin++ {
+				r := req
+				r.Time = &core.TimeFilter{Start: int64(bin) * width, End: int64(bin+1) * width}
+				if _, err := rj.Join(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkFragmentCacheBuild(b *testing.B) {
+	_, rs := scene(100, 64, 109)
+	rj := core.NewRasterJoin(core.WithResolution(1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rj.BuildFragmentCache(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

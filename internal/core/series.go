@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+)
+
+// FragmentCache stores each region's covered pixels on a fixed canvas in
+// CSR form, so a sweep of queries over the same region layer (the
+// exploration view's time bins) pays the polygon rasterization once. This
+// mirrors the paper's observation that the polygon side of the join is
+// static across interactions: on the GPU the polygon pass's fragments are
+// recomputed for free each frame, while the software device banks them.
+type FragmentCache struct {
+	// T is the canvas transform the fragments were produced on.
+	T raster.Transform
+	// start/frags: frags[start[k]:start[k+1]] are region k's pixel indices.
+	start []int32
+	frags []int32
+}
+
+// Regions returns the number of cached regions.
+func (fc *FragmentCache) Regions() int { return len(fc.start) - 1 }
+
+// Fragments returns region k's covered pixel indices.
+func (fc *FragmentCache) Fragments(k int) []int32 {
+	return fc.frags[fc.start[k]:fc.start[k+1]]
+}
+
+// TotalFragments returns the summed fragment count across regions.
+func (fc *FragmentCache) TotalFragments() int { return len(fc.frags) }
+
+// BuildFragmentCache rasterizes the region layer once on a single-pass
+// canvas. It requires the resolution-driven mode (no ε) and a canvas that
+// fits the device texture limit, since the cache indexes one pixel grid.
+func (r *RasterJoin) BuildFragmentCache(regions *data.RegionSet) (*FragmentCache, error) {
+	if r.epsilon > 0 {
+		return nil, fmt.Errorf("core: fragment cache requires resolution mode, not ε")
+	}
+	window := regions.Bounds()
+	if window.IsEmpty() {
+		return &FragmentCache{start: make([]int32, regions.Len()+1)}, nil
+	}
+	full := r.fullTransform(window)
+	c, err := r.dev.NewCanvas(full.World, full.W, full.H)
+	if err != nil {
+		return nil, fmt.Errorf("core: fragment cache: %w (reduce the resolution)", err)
+	}
+	fc := &FragmentCache{T: c.T, start: make([]int32, regions.Len()+1)}
+	for k := range regions.Regions {
+		c.DrawPolygon(regions.Regions[k].Poly, func(px, py int) {
+			fc.frags = append(fc.frags, int32(py*c.T.W+px))
+		})
+		fc.start[k+1] = int32(len(fc.frags))
+	}
+	return fc, nil
+}
+
+// SeriesResult is the output of SeriesJoin: per-bin, per-region stats.
+type SeriesResult struct {
+	BinStarts []int64
+	// Stats[b][k] is region k's aggregate in bin b.
+	Stats [][]RegionStat
+	// CanvasW, CanvasH and PixelSize describe the shared canvas.
+	CanvasW, CanvasH int
+	PixelSize        float64
+}
+
+// Value returns the aggregate for bin b, region k.
+func (s *SeriesResult) Value(b, k int, agg Agg) float64 { return s.Stats[b][k].Value(agg) }
+
+// SeriesJoin evaluates the request across consecutive time bins spanning
+// [start, end), rasterizing the (filtered) points once per bin while
+// reusing one cached polygon rasterization — and, in accurate mode, one
+// cached outline pass — for every bin. Results are identical to running
+// bins separate Joins at the same resolution and mode; the static polygon
+// work is paid once instead of bins times.
+//
+// The request's own Time filter is ignored; the bin windows replace it.
+func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*SeriesResult, error) {
+	if bins < 1 || end <= start {
+		return nil, fmt.Errorf("core: series needs bins >= 1 and a non-empty range")
+	}
+	if req.Points.T == nil {
+		return nil, fmt.Errorf("core: series over point set %q without timestamps", req.Points.Name)
+	}
+	if req.Agg == Min || req.Agg == Max {
+		return nil, fmt.Errorf("core: series join supports COUNT/SUM/AVG, not %v", req.Agg)
+	}
+	req.Time = nil
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fc, err := r.BuildFragmentCache(req.Regions)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SeriesResult{
+		BinStarts: make([]int64, bins),
+		Stats:     make([][]RegionStat, bins),
+		CanvasW:   fc.T.W, CanvasH: fc.T.H,
+		PixelSize: fc.T.PixelWidth(),
+	}
+	width := (end - start) / int64(bins)
+	if width < 1 {
+		width = 1
+	}
+	for b := 0; b < bins; b++ {
+		out.BinStarts[b] = start + int64(b)*width
+		out.Stats[b] = make([]RegionStat, req.Regions.Len())
+	}
+	if req.Points.Len() == 0 || req.Regions.Len() == 0 || fc.T.W == 0 {
+		return out, nil
+	}
+
+	_, _, pred, err := PointPredicate(req)
+	if err != nil {
+		return nil, err
+	}
+	var attr []float64
+	if req.Agg.NeedsAttr() {
+		attr = req.Points.Attr(req.Attr)
+	}
+	c, err := r.dev.NewCanvas(fc.T.World, fc.T.W, fc.T.H)
+	if err != nil {
+		return nil, err
+	}
+	w := fc.T.W
+
+	// Accurate mode: outline the regions once; exclude each region's own
+	// boundary pixels from its cached fragments up front so the per-bin
+	// interior sweep needs no membership tests.
+	var slotOf []int32
+	var bins2D [][]int32 // per boundary-pixel slot, point ids of the current bin
+	var regionPixels [][]int32
+	interior := fc
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		slotOf = make([]int32, fc.T.W*fc.T.H)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		for s, idx := range boundaryList {
+			slotOf[idx] = int32(s)
+		}
+		bins2D = make([][]int32, len(boundaryList))
+		interior = excludeOwnBoundary(fc, regionPixels)
+	}
+
+	ps := req.Points
+	sorted := timesSorted(ps.T)
+	countTex := gpu.NewTexture(fc.T.W, fc.T.H)
+	var sumTex *gpu.Texture
+	if attr != nil {
+		sumTex = gpu.NewTexture(fc.T.W, fc.T.H)
+	}
+
+	for b := 0; b < bins; b++ {
+		binStart := out.BinStarts[b]
+		binEnd := binStart + width
+		if b == bins-1 {
+			binEnd = end
+		}
+		countTex.Clear()
+		if sumTex != nil {
+			sumTex.Clear()
+		}
+		for s := range bins2D {
+			bins2D[s] = bins2D[s][:0]
+		}
+		lo, hi := 0, ps.Len()
+		var timePred func(i int) bool
+		if sorted {
+			lo, hi = ps.TimeWindow(binStart, binEnd)
+		} else {
+			t := ps.T
+			timePred = func(i int) bool { return t[i] >= binStart && t[i] < binEnd }
+		}
+		c.DrawPoints(hi-lo,
+			func(j int) (float64, float64) { i := lo + j; return ps.X[i], ps.Y[i] },
+			func(px, py, j int) {
+				i := lo + j
+				if timePred != nil && !timePred(i) {
+					return
+				}
+				if pred != nil && !pred(i) {
+					return
+				}
+				countTex.Add(px, py, 1)
+				if sumTex != nil {
+					sumTex.Add(px, py, attr[i])
+				}
+				if slotOf != nil {
+					if s := slotOf[py*w+px]; s >= 0 {
+						bins2D[s] = append(bins2D[s], int32(i))
+					}
+				}
+			})
+
+		// Polygon pass from the cache, parallel across regions.
+		stats := out.Stats[b]
+		r.parallelRegions(req.Regions.Len(), func(k int) {
+			var cnt int64
+			var sum float64
+			for _, idx := range interior.Fragments(k) {
+				v := countTex.Data[idx]
+				if v == 0 {
+					continue
+				}
+				cnt += int64(v)
+				if sumTex != nil {
+					sum += sumTex.Data[idx]
+				}
+			}
+			if regionPixels != nil {
+				poly := req.Regions.Regions[k].Poly
+				for _, idx := range regionPixels[k] {
+					for _, id := range bins2D[slotOf[idx]] {
+						p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
+						if poly.Contains(p) {
+							cnt++
+							if attr != nil {
+								sum += attr[id]
+							}
+						}
+					}
+				}
+			}
+			stats[k] = RegionStat{Count: cnt, Sum: sum}
+		})
+	}
+	return out, nil
+}
+
+// excludeOwnBoundary returns a fragment cache whose per-region fragments
+// drop the region's own boundary pixels (which the exact path handles).
+func excludeOwnBoundary(fc *FragmentCache, regionPixels [][]int32) *FragmentCache {
+	out := &FragmentCache{T: fc.T, start: make([]int32, len(fc.start))}
+	mark := raster.NewBitmap(fc.T.W, fc.T.H)
+	for k := 0; k < fc.Regions(); k++ {
+		for _, idx := range regionPixels[k] {
+			mark.Set(int(idx)%fc.T.W, int(idx)/fc.T.W)
+		}
+		for _, idx := range fc.Fragments(k) {
+			if !mark.Get(int(idx)%fc.T.W, int(idx)/fc.T.W) {
+				out.frags = append(out.frags, idx)
+			}
+		}
+		for _, idx := range regionPixels[k] {
+			mark.Unset(int(idx)%fc.T.W, int(idx)/fc.T.W)
+		}
+		out.start[k+1] = int32(len(out.frags))
+	}
+	return out
+}
+
+// timesSorted reports whether t is non-decreasing.
+func timesSorted(t []int64) bool {
+	for i := 1; i < len(t); i++ {
+		if t[i-1] > t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelRegions fans region indices [0,n) across the joiner's workers.
+func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+)
+
+// StreamJoin evaluates one spatial aggregation over a point stream: the
+// polygon side and the canvas are fixed up front, then point batches are
+// drawn as they arrive and a final polygon pass produces the result. This
+// is the paper's bigger-than-GPU-memory pipeline generalized to
+// bigger-than-RAM inputs — each batch can be read from disk, aggregated,
+// and discarded.
+//
+// The accurate mode is supported: boundary-pixel observations (coordinates
+// plus the aggregated value) are retained across batches, which is the
+// only per-point state exactness requires.
+type StreamJoin struct {
+	r       *RasterJoin
+	regions *data.RegionSet
+	agg     Agg
+	attr    string
+	filters []Filter
+	time    *TimeFilter
+
+	canvas   *gpu.Canvas
+	countTex *gpu.Texture
+	sumTex   *gpu.Texture
+	minTex   *gpu.Texture
+	maxTex   *gpu.Texture
+
+	slotOf       []int32
+	regionPixels [][]int32
+	bins         [][]obs
+
+	batches   int64
+	points    int64
+	finalized bool
+}
+
+// obs is one retained boundary observation.
+type obs struct {
+	x, y, v float64
+}
+
+// NewStream prepares a streaming aggregation over the region layer. The
+// canvas must fit a single device pass (stream state is per-pixel); lower
+// the resolution or raise the device texture limit otherwise. Filters and
+// the time window apply to every batch.
+func (r *RasterJoin) NewStream(regions *data.RegionSet, agg Agg, attr string,
+	filters []Filter, tf *TimeFilter) (*StreamJoin, error) {
+
+	if r.epsilon > 0 {
+		return nil, fmt.Errorf("core: streaming join requires resolution mode, not ε")
+	}
+	if agg.NeedsAttr() && attr == "" {
+		return nil, fmt.Errorf("core: %v needs an attribute", agg)
+	}
+	window := regions.Bounds()
+	if window.IsEmpty() {
+		return nil, fmt.Errorf("core: region layer %q has no extent", regions.Name)
+	}
+	full := r.fullTransform(window)
+	c, err := r.dev.NewCanvas(full.World, full.W, full.H)
+	if err != nil {
+		return nil, fmt.Errorf("core: streaming join: %w (reduce the resolution)", err)
+	}
+	s := &StreamJoin{
+		r: r, regions: regions, agg: agg, attr: attr,
+		filters: filters, time: tf,
+		canvas:   c,
+		countTex: gpu.NewTexture(c.T.W, c.T.H),
+	}
+	switch agg {
+	case Sum, Avg:
+		s.sumTex = gpu.NewTexture(c.T.W, c.T.H)
+	case Min:
+		s.minTex = gpu.NewTexture(c.T.W, c.T.H)
+		s.minTex.Fill(math.Inf(1))
+	case Max:
+		s.maxTex = gpu.NewTexture(c.T.W, c.T.H)
+		s.maxTex.Fill(math.Inf(-1))
+	}
+	if r.mode == Accurate {
+		var boundaryList []int32
+		boundaryList, s.regionPixels = r.outlinePass(c, regions)
+		s.slotOf = make([]int32, c.T.W*c.T.H)
+		for i := range s.slotOf {
+			s.slotOf[i] = -1
+		}
+		for i, idx := range boundaryList {
+			s.slotOf[idx] = int32(i)
+		}
+		s.bins = make([][]obs, len(boundaryList))
+	}
+	return s, nil
+}
+
+// Add streams one batch of points into the aggregation. The batch must
+// carry the aggregate attribute and every filtered attribute; it is not
+// retained (beyond boundary observations in accurate mode).
+func (s *StreamJoin) Add(ps *data.PointSet) error {
+	if s.finalized {
+		return fmt.Errorf("core: stream already finalized")
+	}
+	req := Request{Points: ps, Regions: s.regions, Agg: s.agg, Attr: s.attr,
+		Filters: s.filters, Time: s.time}
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	lo, hi, pred, err := PointPredicate(req)
+	if err != nil {
+		return err
+	}
+	var attr []float64
+	if s.agg.NeedsAttr() {
+		attr = ps.Attr(s.attr)
+	}
+	w := s.canvas.T.W
+	s.r.drawPointsBatched(s.canvas, lo, hi,
+		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
+		func(px, py, i int) {
+			if pred != nil && !pred(i) {
+				return
+			}
+			s.countTex.Add(px, py, 1)
+			var v float64
+			if attr != nil {
+				v = attr[i]
+			}
+			switch {
+			case s.sumTex != nil:
+				s.sumTex.Add(px, py, v)
+			case s.minTex != nil:
+				s.minTex.TakeMin(px, py, v)
+			case s.maxTex != nil:
+				s.maxTex.TakeMax(px, py, v)
+			}
+			if s.slotOf != nil {
+				if slot := s.slotOf[py*w+px]; slot >= 0 {
+					s.bins[slot] = append(s.bins[slot], obs{x: ps.X[i], y: ps.Y[i], v: v})
+				}
+			}
+		})
+	s.batches++
+	s.points += int64(hi - lo)
+	return nil
+}
+
+// Batches returns how many batches were added.
+func (s *StreamJoin) Batches() int64 { return s.batches }
+
+// Finalize runs the polygon pass over the accumulated textures and returns
+// the result. The stream cannot be added to afterwards.
+func (s *StreamJoin) Finalize() (*Result, error) {
+	if s.finalized {
+		return nil, fmt.Errorf("core: stream already finalized")
+	}
+	s.finalized = true
+	res := &Result{
+		Stats:     make([]RegionStat, s.regions.Len()),
+		Algorithm: s.r.Name() + "-stream",
+		CanvasW:   s.canvas.T.W, CanvasH: s.canvas.T.H,
+		Tiles:     1,
+		PixelSize: s.canvas.T.PixelWidth(),
+	}
+	w := s.canvas.T.W
+	useAttr := s.agg.NeedsAttr()
+	minMax := s.agg == Min || s.agg == Max
+	s.r.parallelRegions(s.regions.Len(), func(k int) {
+		poly := s.regions.Regions[k].Poly
+		var local RegionStat
+		var scratch *raster.Bitmap
+		if s.slotOf != nil {
+			scratch = raster.NewBitmap(s.canvas.T.W, s.canvas.T.H)
+			for _, idx := range s.regionPixels[k] {
+				scratch.Set(int(idx)%w, int(idx)/w)
+			}
+		}
+		s.canvas.DrawPolygon(poly, func(px, py int) {
+			if scratch != nil && scratch.Get(px, py) {
+				return
+			}
+			v := s.countTex.At(px, py)
+			if v == 0 {
+				return
+			}
+			pixel := RegionStat{Count: int64(v)}
+			switch {
+			case s.sumTex != nil:
+				pixel.Sum = s.sumTex.At(px, py)
+			case s.minTex != nil:
+				m := s.minTex.At(px, py)
+				pixel.Min, pixel.Max = m, m
+			case s.maxTex != nil:
+				m := s.maxTex.At(px, py)
+				pixel.Min, pixel.Max = m, m
+			}
+			local.Merge(pixel)
+		})
+		if scratch != nil {
+			for _, idx := range s.regionPixels[k] {
+				for _, o := range s.bins[s.slotOf[idx]] {
+					if !poly.Contains(geom.Point{X: o.x, Y: o.y}) {
+						continue
+					}
+					switch {
+					case minMax:
+						local.Observe(o.v)
+					case useAttr:
+						local.Count++
+						local.Sum += o.v
+					default:
+						local.Count++
+					}
+				}
+			}
+		}
+		res.Stats[k].Merge(local)
+	})
+	return res, nil
+}

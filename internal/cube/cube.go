@@ -1,0 +1,278 @@
+// Package cube implements the pre-aggregation baseline the paper's
+// introduction argues against: a spatio-temporal aggregate cube built over
+// a fixed region layer and fixed time bins.
+//
+// Once built, the cube answers its canned query family (count/sum/avg per
+// region per aligned time range) in microseconds — but it cannot serve
+// ad-hoc filter conditions, ad-hoc polygons, or misaligned time ranges;
+// those return ErrUnsupported. Raster Join exists precisely to cover that
+// gap at interactive speed.
+package cube
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+// ErrUnsupported is returned for queries outside the cube's pre-aggregated
+// family: different region sets, attribute filters, unaligned time windows,
+// or attributes that were not materialized.
+var ErrUnsupported = errors.New("cube: query not servable from pre-aggregation")
+
+// Config declares what the cube materializes.
+type Config struct {
+	// Regions is the fixed region layer the cube is keyed on.
+	Regions *data.RegionSet
+	// TimeBin is the bin width in seconds (e.g. 3600 or 86400). Zero
+	// collapses time: one bin covering everything, and any time-filtered
+	// query is unsupported.
+	TimeBin int64
+	// Attrs lists the attribute columns whose per-cell sums are
+	// materialized (enabling SUM/AVG on exactly these).
+	Attrs []string
+}
+
+// Cube is the materialized aggregate: counts and attribute sums per
+// (time bin × region) cell.
+type Cube struct {
+	cfg    Config
+	points *data.PointSet
+	start  int64 // start timestamp of bin 0
+	bins   int
+	nr     int
+	counts []int64
+	sums   map[string][]float64
+}
+
+// Build scans the point set once, assigning every point to its containing
+// region (exact point-in-polygon via an R-tree over region boxes) and
+// accumulating the per-cell aggregates. This is the offline preprocessing
+// step whose cost pre-aggregation pays up front.
+func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
+	if cfg.Regions == nil {
+		return nil, errors.New("cube: config needs a region set")
+	}
+	for _, a := range cfg.Attrs {
+		if ps.Attr(a) == nil {
+			return nil, fmt.Errorf("cube: attribute %q not in point set %q", a, ps.Name)
+		}
+	}
+	c := &Cube{cfg: cfg, points: ps, nr: cfg.Regions.Len()}
+
+	if cfg.TimeBin > 0 && ps.T != nil && ps.Len() > 0 {
+		min, max, _ := ps.TimeRange()
+		c.start = (min / cfg.TimeBin) * cfg.TimeBin
+		if min < 0 && c.start > min {
+			c.start -= cfg.TimeBin
+		}
+		c.bins = int((max-c.start)/cfg.TimeBin) + 1
+	} else {
+		c.bins = 1
+	}
+
+	cells := c.bins * c.nr
+	c.counts = make([]int64, cells)
+	c.sums = make(map[string][]float64, len(cfg.Attrs))
+	for _, a := range cfg.Attrs {
+		c.sums[a] = make([]float64, cells)
+	}
+	if c.nr == 0 || ps.Len() == 0 {
+		return c, nil
+	}
+
+	boxes := make([]geom.BBox, c.nr)
+	for i, r := range cfg.Regions.Regions {
+		boxes[i] = r.Poly.BBox()
+	}
+	tree := index.BuildRTree(boxes)
+	regions := cfg.Regions.Regions
+
+	attrCols := make([][]float64, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		attrCols[i] = ps.Attr(a)
+	}
+
+	// Parallel over point shards with per-shard cells, merged at the end.
+	workers := runtime.GOMAXPROCS(0)
+	shard := (ps.Len() + workers - 1) / workers
+	if shard < 1 {
+		shard = 1
+	}
+	type partial struct {
+		counts []int64
+		sums   [][]float64
+	}
+	var wg sync.WaitGroup
+	parts := make([]partial, 0, workers)
+	for s := 0; s < ps.Len(); s += shard {
+		e := s + shard
+		if e > ps.Len() {
+			e = ps.Len()
+		}
+		p := partial{counts: make([]int64, cells), sums: make([][]float64, len(cfg.Attrs))}
+		for i := range p.sums {
+			p.sums[i] = make([]float64, cells)
+		}
+		parts = append(parts, p)
+		wg.Add(1)
+		go func(s, e int, p partial) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				pt := geom.Point{X: ps.X[i], Y: ps.Y[i]}
+				bin := 0
+				if c.cfg.TimeBin > 0 && ps.T != nil {
+					bin = int((ps.T[i] - c.start) / c.cfg.TimeBin)
+				}
+				tree.SearchPoint(pt, func(id int32) {
+					if !regions[id].Poly.Contains(pt) {
+						return
+					}
+					cell := bin*c.nr + int(id)
+					p.counts[cell]++
+					for a := range attrCols {
+						p.sums[a][cell] += attrCols[a][i]
+					}
+				})
+			}
+		}(s, e, p)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		for i, v := range p.counts {
+			c.counts[i] += v
+		}
+		for a, name := range cfg.Attrs {
+			dst := c.sums[name]
+			for i, v := range p.sums[a] {
+				dst[i] += v
+			}
+		}
+	}
+	return c, nil
+}
+
+// Name implements core.Joiner.
+func (c *Cube) Name() string { return "pre-aggregation-cube" }
+
+// Bins returns the number of time bins.
+func (c *Cube) Bins() int { return c.bins }
+
+// BinStart returns the start timestamp of bin b.
+func (c *Cube) BinStart(b int) int64 { return c.start + int64(b)*c.cfg.TimeBin }
+
+// MemoryCells returns the number of materialized (bin × region) cells — the
+// cube's space cost.
+func (c *Cube) MemoryCells() int { return len(c.counts) }
+
+// CanServe reports whether the request falls inside the cube's canned
+// query family, returning a wrapped ErrUnsupported naming the first
+// violation otherwise. The query planner uses this to route queries.
+func (c *Cube) CanServe(req core.Request) error {
+	if req.Regions != c.cfg.Regions {
+		return fmt.Errorf("%w: region set %q is not the cube's layer",
+			ErrUnsupported, req.Regions.Name)
+	}
+	if req.Points != c.points {
+		return fmt.Errorf("%w: point set %q is not the cube's base data",
+			ErrUnsupported, req.Points.Name)
+	}
+	if len(req.Filters) > 0 {
+		return fmt.Errorf("%w: ad-hoc filter on %q", ErrUnsupported, req.Filters[0].Attr)
+	}
+	if req.Agg == core.Min || req.Agg == core.Max {
+		return fmt.Errorf("%w: %v not materialized (cube stores counts and sums)",
+			ErrUnsupported, req.Agg)
+	}
+	if req.Agg.NeedsAttr() {
+		if _, ok := c.sums[req.Attr]; !ok {
+			return fmt.Errorf("%w: attribute %q not materialized", ErrUnsupported, req.Attr)
+		}
+	}
+	if req.Time != nil {
+		if c.cfg.TimeBin <= 0 {
+			return fmt.Errorf("%w: cube has no time dimension", ErrUnsupported)
+		}
+		if (req.Time.Start-c.start)%c.cfg.TimeBin != 0 ||
+			(req.Time.End-c.start)%c.cfg.TimeBin != 0 {
+			return fmt.Errorf("%w: time range not aligned to %ds bins",
+				ErrUnsupported, c.cfg.TimeBin)
+		}
+	}
+	return nil
+}
+
+// Join implements core.Joiner for the canned query family. It returns
+// ErrUnsupported (wrapped with the reason) for anything the cube cannot
+// answer exactly.
+func (c *Cube) Join(req core.Request) (*core.Result, error) {
+	if err := c.CanServe(req); err != nil {
+		return nil, err
+	}
+
+	lo, hi := 0, c.bins // bin range [lo, hi)
+	if req.Time != nil {
+		lo = int((req.Time.Start - c.start) / c.cfg.TimeBin)
+		hi = int((req.Time.End - c.start) / c.cfg.TimeBin)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > c.bins {
+			hi = c.bins
+		}
+		if hi < lo {
+			hi = lo
+		}
+	}
+
+	res := &core.Result{
+		Stats:     make([]core.RegionStat, c.nr),
+		Algorithm: c.Name(),
+	}
+	var sums []float64
+	if req.Agg.NeedsAttr() {
+		sums = c.sums[req.Attr]
+	}
+	for b := lo; b < hi; b++ {
+		base := b * c.nr
+		for k := 0; k < c.nr; k++ {
+			res.Stats[k].Count += c.counts[base+k]
+			if sums != nil {
+				res.Stats[k].Sum += sums[base+k]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Series returns the per-bin aggregate values for one region — the canned
+// time series the exploration view can read straight out of the cube.
+func (c *Cube) Series(regionIdx int, agg core.Agg, attr string) ([]float64, error) {
+	if regionIdx < 0 || regionIdx >= c.nr {
+		return nil, fmt.Errorf("cube: region index %d out of range [0,%d)", regionIdx, c.nr)
+	}
+	var sums []float64
+	if agg.NeedsAttr() {
+		s, ok := c.sums[attr]
+		if !ok {
+			return nil, fmt.Errorf("%w: attribute %q not materialized", ErrUnsupported, attr)
+		}
+		sums = s
+	}
+	out := make([]float64, c.bins)
+	for b := 0; b < c.bins; b++ {
+		cell := b*c.nr + regionIdx
+		st := core.RegionStat{Count: c.counts[cell]}
+		if sums != nil {
+			st.Sum = sums[cell]
+		}
+		out[b] = st.Value(agg)
+	}
+	return out, nil
+}

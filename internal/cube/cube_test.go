@@ -1,0 +1,200 @@
+package cube
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+func cubeScene(np int, seed int64) (*data.PointSet, *data.RegionSet) {
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	rng := rand.New(rand.NewSource(seed))
+	ps := &data.PointSet{
+		Name: "pts",
+		X:    make([]float64, np),
+		Y:    make([]float64, np),
+		T:    make([]int64, np),
+	}
+	vals := make([]float64, np)
+	for i := 0; i < np; i++ {
+		ps.X[i] = rng.Float64() * 1000
+		ps.Y[i] = rng.Float64() * 1000
+		ps.T[i] = int64(rng.Intn(10 * 3600)) // ten hours
+		vals[i] = rng.Float64() * 5
+	}
+	ps.Attrs = []data.Column{{Name: "v", Values: vals}}
+	ps.SortByTime()
+	rs := data.VoronoiRegions("nbhd", bounds, 15, seed+1,
+		data.VoronoiOptions{JitterFrac: 0.05})
+	return ps, rs
+}
+
+func TestCubeMatchesBruteForceUnfiltered(t *testing.T) {
+	ps, rs := cubeScene(4000, 3)
+	c, err := Build(ps, Config{Regions: rs, TimeBin: 3600, Attrs: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []core.Agg{core.Count, core.Sum, core.Avg} {
+		req := core.Request{Points: ps, Regions: rs, Agg: agg, Attr: "v"}
+		want, err := (&index.BruteForce{}).Join(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Join(req)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		for k := range want.Stats {
+			if got.Stats[k].Count != want.Stats[k].Count {
+				t.Fatalf("%v region %d: count %d vs %d",
+					agg, k, got.Stats[k].Count, want.Stats[k].Count)
+			}
+			if math.Abs(got.Stats[k].Sum-want.Stats[k].Sum) > 1e-6 {
+				t.Fatalf("%v region %d: sum %v vs %v",
+					agg, k, got.Stats[k].Sum, want.Stats[k].Sum)
+			}
+		}
+	}
+}
+
+func TestCubeAlignedTimeRange(t *testing.T) {
+	ps, rs := cubeScene(3000, 7)
+	c, err := Build(ps, Config{Regions: rs, TimeBin: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aligned window [bin1, bin4).
+	start := c.BinStart(1)
+	end := c.BinStart(4)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count,
+		Time: &core.TimeFilter{Start: start, End: end}}
+	want, _ := (&index.BruteForce{}).Join(req)
+	got, err := c.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.Stats {
+		if got.Stats[k].Count != want.Stats[k].Count {
+			t.Fatalf("region %d: %d vs %d", k, got.Stats[k].Count, want.Stats[k].Count)
+		}
+	}
+}
+
+func TestCubeRejectsAdHocQueries(t *testing.T) {
+	ps, rs := cubeScene(500, 11)
+	c, err := Build(ps, Config{Regions: rs, TimeBin: 3600, Attrs: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  core.Request
+	}{
+		{"ad-hoc filter", core.Request{Points: ps, Regions: rs, Agg: core.Count,
+			Filters: []core.Filter{{Attr: "v", Min: 1, Max: 2}}}},
+		{"misaligned time", core.Request{Points: ps, Regions: rs, Agg: core.Count,
+			Time: &core.TimeFilter{Start: c.BinStart(0) + 17, End: c.BinStart(2)}}},
+		{"foreign regions", core.Request{Points: ps,
+			Regions: data.GridRegions("other", geom.BBox{MaxX: 1, MaxY: 1}, 1, 1),
+			Agg:     core.Count}},
+		{"unmaterialized attr", func() core.Request {
+			ps2 := ps
+			return core.Request{Points: ps2, Regions: rs, Agg: core.Sum, Attr: "w"}
+		}()},
+	}
+	// Give the point set a second attribute so "unmaterialized attr"
+	// passes request validation but not cube support.
+	ps.AddAttr("w", make([]float64, ps.Len()))
+	for _, tc := range cases {
+		_, err := c.Join(tc.req)
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("%s: err = %v, want ErrUnsupported", tc.name, err)
+		}
+	}
+	// Foreign point set.
+	other, _ := cubeScene(10, 99)
+	if _, err := c.Join(core.Request{Points: other, Regions: rs, Agg: core.Count}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("foreign points: err = %v", err)
+	}
+	// MIN/MAX are not materialized.
+	if _, err := c.Join(core.Request{Points: ps, Regions: rs,
+		Agg: core.Min, Attr: "v"}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("min: err = %v", err)
+	}
+}
+
+func TestCubeNoTimeDimension(t *testing.T) {
+	ps, rs := cubeScene(1000, 13)
+	c, err := Build(ps, Config{Regions: rs, TimeBin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bins() != 1 {
+		t.Errorf("bins = %d, want 1", c.Bins())
+	}
+	if _, err := c.Join(core.Request{Points: ps, Regions: rs, Agg: core.Count,
+		Time: &core.TimeFilter{Start: 0, End: 3600}}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("time filter without time dimension: err = %v", err)
+	}
+	// Untimed query works.
+	if _, err := c.Join(core.Request{Points: ps, Regions: rs, Agg: core.Count}); err != nil {
+		t.Errorf("untimed query: %v", err)
+	}
+}
+
+func TestCubeSeries(t *testing.T) {
+	ps, rs := cubeScene(3000, 17)
+	c, err := Build(ps, Config{Regions: rs, TimeBin: 3600, Attrs: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := c.Series(0, core.Count, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != c.Bins() {
+		t.Fatalf("series length %d, want %d bins", len(series), c.Bins())
+	}
+	// Series must sum to the region's total count.
+	var total float64
+	for _, v := range series {
+		total += v
+	}
+	full, _ := c.Join(core.Request{Points: ps, Regions: rs, Agg: core.Count})
+	if total != float64(full.Stats[0].Count) {
+		t.Errorf("series total %v != region count %d", total, full.Stats[0].Count)
+	}
+	// Errors.
+	if _, err := c.Series(-1, core.Count, ""); err == nil {
+		t.Error("negative region index should error")
+	}
+	if _, err := c.Series(0, core.Sum, "nope"); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("unmaterialized series attr: err = %v", err)
+	}
+}
+
+func TestCubeBuildErrors(t *testing.T) {
+	ps, _ := cubeScene(10, 19)
+	if _, err := Build(ps, Config{}); err == nil {
+		t.Error("nil regions should fail")
+	}
+	rs := data.GridRegions("g", geom.BBox{MaxX: 1, MaxY: 1}, 1, 1)
+	if _, err := Build(ps, Config{Regions: rs, Attrs: []string{"nope"}}); err == nil {
+		t.Error("unknown attr should fail")
+	}
+}
+
+func TestCubeMemoryCells(t *testing.T) {
+	ps, rs := cubeScene(1000, 23)
+	c, _ := Build(ps, Config{Regions: rs, TimeBin: 3600})
+	if c.MemoryCells() != c.Bins()*rs.Len() {
+		t.Errorf("cells = %d, want %d", c.MemoryCells(), c.Bins()*rs.Len())
+	}
+}

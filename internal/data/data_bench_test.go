@@ -1,0 +1,47 @@
+package data
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mercator"
+)
+
+func BenchmarkGenerateTaxi(b *testing.B) {
+	cfg := NYCTaxiConfig(100_000, 2009, time.January, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
+
+func BenchmarkVoronoiRegions(b *testing.B) {
+	bounds := mercator.NYCBounds()
+	for _, n := range []int{260, 2048} {
+		b.Run(map[int]string{260: "neighborhoods", 2048: "tracts"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				VoronoiRegions("bench", bounds, n, 1, VoronoiOptions{JitterFrac: 0.1})
+			}
+		})
+	}
+}
+
+func BenchmarkSortByTime(b *testing.B) {
+	base := Generate(NYCTaxiConfig(100_000, 2009, time.January, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Scramble before each sort so the work is real.
+		cp := base.Select(scrambled(base.Len()))
+		b.StartTimer()
+		cp.SortByTime()
+	}
+}
+
+func scrambled(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = (i*7919 + 13) % n
+	}
+	return idx
+}

@@ -1,0 +1,67 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV decoder is total: arbitrary input either
+// decodes into a valid point set or errors, never panics, and anything
+// decoded re-encodes and decodes to the same shape.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x,y,t\n1,2,3\n")
+	f.Add("x,y,t,fare\n1.5,-2.25,100,9.99\n3,4,200,0\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("x,y,t\n1,2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		ps, err := ReadCSV(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := ps.Validate(); err != nil {
+			t.Fatalf("decoded point set invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ps); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		ps2, err := ReadCSV(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if ps2.Len() != ps.Len() || len(ps2.Attrs) != len(ps.Attrs) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				ps2.Len(), len(ps2.Attrs), ps.Len(), len(ps.Attrs))
+		}
+	})
+}
+
+// FuzzReadGeoJSON asserts the GeoJSON decoder is total and round-trips.
+func FuzzReadGeoJSON(f *testing.F) {
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature",
+		"properties":{"id":1,"name":"a"},"geometry":{"type":"Polygon",
+		"coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]]]}}]}`)
+	f.Add(`{"type":"FeatureCollection","features":[]}`)
+	f.Add(`{"type":"Point"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		rs, err := ReadGeoJSON(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGeoJSON(&buf, rs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		rs2, err := ReadGeoJSON(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if rs2.Len() != rs.Len() {
+			t.Fatalf("round trip changed region count: %d vs %d", rs2.Len(), rs.Len())
+		}
+	})
+}

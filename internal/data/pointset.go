@@ -1,0 +1,179 @@
+// Package data provides the spatio-temporal data substrate: a columnar
+// point-set container, calibrated synthetic generators standing in for the
+// NYC taxi / 311 / photo data sets the paper explores, polygonal region
+// generators standing in for NYC's neighborhood and census-tract layers,
+// and GeoJSON/CSV codecs.
+package data
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Column is a named float64 attribute column.
+type Column struct {
+	Name   string
+	Values []float64
+}
+
+// PointSet is a columnar set of spatio-temporal points
+// P(loc, t, a1, a2, ...): parallel slices of mercator coordinates, unix
+// timestamps, and attribute columns. The layout matches how Raster Join
+// streams vertex buffers to the GPU.
+type PointSet struct {
+	Name string
+	// X, Y are Web-Mercator meters.
+	X, Y []float64
+	// T is seconds since the Unix epoch.
+	T []int64
+	// Attrs are the attribute columns, all of length Len().
+	Attrs []Column
+}
+
+// Len returns the number of points.
+func (ps *PointSet) Len() int { return len(ps.X) }
+
+// Validate checks that all columns have equal length.
+func (ps *PointSet) Validate() error {
+	n := len(ps.X)
+	if len(ps.Y) != n {
+		return fmt.Errorf("data: %q: Y has %d values, want %d", ps.Name, len(ps.Y), n)
+	}
+	if ps.T != nil && len(ps.T) != n {
+		return fmt.Errorf("data: %q: T has %d values, want %d", ps.Name, len(ps.T), n)
+	}
+	for _, c := range ps.Attrs {
+		if len(c.Values) != n {
+			return fmt.Errorf("data: %q: attr %q has %d values, want %d",
+				ps.Name, c.Name, len(c.Values), n)
+		}
+	}
+	return nil
+}
+
+// Attr returns the named attribute column, or nil when absent.
+func (ps *PointSet) Attr(name string) []float64 {
+	for _, c := range ps.Attrs {
+		if c.Name == name {
+			return c.Values
+		}
+	}
+	return nil
+}
+
+// AttrNames returns the attribute column names in storage order.
+func (ps *PointSet) AttrNames() []string {
+	names := make([]string, len(ps.Attrs))
+	for i, c := range ps.Attrs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// AddAttr appends an attribute column. It panics if the length mismatches,
+// as that is a programming error.
+func (ps *PointSet) AddAttr(name string, values []float64) {
+	if len(values) != ps.Len() {
+		panic(fmt.Sprintf("data: attr %q has %d values, point set has %d",
+			name, len(values), ps.Len()))
+	}
+	ps.Attrs = append(ps.Attrs, Column{Name: name, Values: values})
+}
+
+// Bounds returns the bounding box of all points.
+func (ps *PointSet) Bounds() geom.BBox {
+	b := geom.EmptyBBox()
+	for i := range ps.X {
+		b = b.ExtendPoint(geom.Point{X: ps.X[i], Y: ps.Y[i]})
+	}
+	return b
+}
+
+// TimeRange returns the min and max timestamps, or ok=false when the set is
+// empty or has no time column.
+func (ps *PointSet) TimeRange() (min, max int64, ok bool) {
+	if len(ps.T) == 0 {
+		return 0, 0, false
+	}
+	min, max = ps.T[0], ps.T[0]
+	for _, v := range ps.T[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// Slice returns a view-style copy containing points [lo, hi).
+func (ps *PointSet) Slice(lo, hi int) *PointSet {
+	out := &PointSet{
+		Name: ps.Name,
+		X:    ps.X[lo:hi],
+		Y:    ps.Y[lo:hi],
+	}
+	if ps.T != nil {
+		out.T = ps.T[lo:hi]
+	}
+	for _, c := range ps.Attrs {
+		out.Attrs = append(out.Attrs, Column{Name: c.Name, Values: c.Values[lo:hi]})
+	}
+	return out
+}
+
+// Select returns a new PointSet containing the points at the given indices.
+func (ps *PointSet) Select(idx []int) *PointSet {
+	out := &PointSet{
+		Name: ps.Name,
+		X:    make([]float64, len(idx)),
+		Y:    make([]float64, len(idx)),
+	}
+	if ps.T != nil {
+		out.T = make([]int64, len(idx))
+	}
+	for _, c := range ps.Attrs {
+		out.Attrs = append(out.Attrs, Column{Name: c.Name, Values: make([]float64, len(idx))})
+	}
+	for j, i := range idx {
+		out.X[j] = ps.X[i]
+		out.Y[j] = ps.Y[i]
+		if ps.T != nil {
+			out.T[j] = ps.T[i]
+		}
+		for k := range ps.Attrs {
+			out.Attrs[k].Values[j] = ps.Attrs[k].Values[i]
+		}
+	}
+	return out
+}
+
+// SortByTime reorders the points in ascending timestamp order. Sorting is
+// stable with respect to nothing in particular; it exists so time-filtered
+// scans can binary-search their window.
+func (ps *PointSet) SortByTime() {
+	if ps.T == nil {
+		return
+	}
+	idx := make([]int, ps.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ps.T[idx[a]] < ps.T[idx[b]] })
+	*ps = *ps.Select(idx)
+}
+
+// TimeWindow returns the index range [lo, hi) of points with timestamps in
+// [start, end), assuming the set is sorted by time.
+func (ps *PointSet) TimeWindow(start, end int64) (lo, hi int) {
+	lo = sort.Search(ps.Len(), func(i int) bool { return ps.T[i] >= start })
+	hi = sort.Search(ps.Len(), func(i int) bool { return ps.T[i] >= end })
+	return lo, hi
+}
+
+// Unix returns t as a UTC time — a readability helper for examples.
+func Unix(t int64) time.Time { return time.Unix(t, 0).UTC() }

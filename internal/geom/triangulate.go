@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Triangle is a triple of vertices.
+type Triangle [3]Point
+
+// Area returns the (unsigned) area of the triangle.
+func (t Triangle) Area() float64 {
+	return math.Abs((t[1].Sub(t[0])).Cross(t[2].Sub(t[0]))) / 2
+}
+
+// Contains reports whether p lies in the closed triangle.
+func (t Triangle) Contains(p Point) bool {
+	d1 := sign(p, t[0], t[1])
+	d2 := sign(p, t[1], t[2])
+	d3 := sign(p, t[2], t[0])
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+func sign(p, a, b Point) float64 {
+	return (p.X-b.X)*(a.Y-b.Y) - (a.X-b.X)*(p.Y-b.Y)
+}
+
+// Triangulate decomposes a polygon into triangles. Holes are first bridged
+// into the outer ring (creating a single weakly-simple ring), then the ring
+// is ear-clipped. The triangle fan produced here is what the GPU substrate
+// draws: the real Raster Join renders polygons as triangle lists produced by
+// an identical CPU-side triangulation.
+//
+// Triangulate returns nil for degenerate polygons.
+func Triangulate(pg Polygon) []Triangle {
+	p := pg.Clone()
+	p.Normalize()
+	ring := p.Outer
+	// Bridge holes in descending max-X order. Bridges are cut rightward
+	// (+X) from each hole's rightmost vertex, so merging right-to-left
+	// guarantees every not-yet-merged hole lies strictly left of the bridge
+	// corridor and cannot be crossed by it.
+	holes := append([]Ring(nil), p.Holes...)
+	sort.Slice(holes, func(i, j int) bool {
+		return ringMaxX(holes[i]) > ringMaxX(holes[j])
+	})
+	for _, h := range holes {
+		ring = bridgeHole(ring, h)
+	}
+	return earClip(ring)
+}
+
+func ringMaxX(r Ring) float64 {
+	m := math.Inf(-1)
+	for _, p := range r {
+		if p.X > m {
+			m = p.X
+		}
+	}
+	return m
+}
+
+// bridgeHole merges a (clockwise) hole into a (counter-clockwise) outer ring
+// by cutting a zero-width bridge between mutually visible vertices, following
+// the standard approach: pick the hole vertex with maximum X and connect it
+// to a visible outer vertex found by ray casting.
+func bridgeHole(outer Ring, hole Ring) Ring {
+	if len(hole) < 3 {
+		return outer
+	}
+	// Hole vertex with maximum X.
+	hi := 0
+	for i, p := range hole {
+		if p.X > hole[hi].X {
+			hi = i
+		}
+	}
+	m := hole[hi]
+
+	// Cast a ray from m in +X; find the closest intersecting outer edge.
+	bestT := math.Inf(1)
+	bestEdge := -1
+	var bestPt Point
+	for i := range outer {
+		a := outer[i]
+		b := outer[(i+1)%len(outer)]
+		// Edge must straddle the horizontal line y = m.Y.
+		if (a.Y > m.Y) == (b.Y > m.Y) {
+			continue
+		}
+		t := a.X + (m.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+		if t >= m.X && t < bestT {
+			bestT = t
+			bestEdge = i
+			bestPt = Point{t, m.Y}
+		}
+	}
+	if bestEdge == -1 {
+		// Hole is outside the outer ring (shouldn't happen for valid input);
+		// drop it.
+		return outer
+	}
+
+	// Candidate connection vertex: the endpoint of the intersected edge with
+	// the larger X (the one on the near side of the ray hit), then check for
+	// reflex vertices inside triangle (m, bestPt, cand) and prefer the
+	// closest by angle, per the classic ear-cutting hole bridging.
+	a := outer[bestEdge]
+	b := outer[(bestEdge+1)%len(outer)]
+	cand := bestEdge
+	if b.X > a.X {
+		cand = (bestEdge + 1) % len(outer)
+	}
+	tri := Triangle{m, bestPt, outer[cand]}
+	bestDist := math.Inf(1)
+	chosen := cand
+	for i, p := range outer {
+		if i == cand {
+			continue
+		}
+		if p.X >= m.X && tri.Contains(p) {
+			d := p.DistSq(m)
+			if d < bestDist {
+				bestDist = d
+				chosen = i
+			}
+		}
+	}
+
+	// Splice: outer[0..chosen], hole[hi..], hole[..hi], outer[chosen..].
+	out := make(Ring, 0, len(outer)+len(hole)+2)
+	out = append(out, outer[:chosen+1]...)
+	for k := 0; k < len(hole); k++ {
+		out = append(out, hole[(hi+k)%len(hole)])
+	}
+	out = append(out, hole[hi])      // return to the bridge start on the hole
+	out = append(out, outer[chosen]) // and back onto the outer ring
+	out = append(out, outer[chosen+1:]...)
+	return out
+}
+
+// earClip triangulates a weakly-simple counter-clockwise ring by iteratively
+// removing ears. It is O(n²) in the worst case, which is fine for the
+// vertex counts urban polygons carry (tens to a few hundred vertices).
+func earClip(r Ring) []Triangle {
+	n := len(r)
+	if n < 3 {
+		return nil
+	}
+	// Work on an index list so bridged duplicate vertices survive.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var tris []Triangle
+	guard := 0
+	for len(idx) > 3 && guard < n*n {
+		guard++
+		clipped := false
+		for i := 0; i < len(idx); i++ {
+			ia := idx[(i+len(idx)-1)%len(idx)]
+			ib := idx[i]
+			ic := idx[(i+1)%len(idx)]
+			a, b, c := r[ia], r[ib], r[ic]
+			if Orientation(a, b, c) <= 0 {
+				continue // reflex or collinear; not an ear
+			}
+			ear := Triangle{a, b, c}
+			ok := true
+			for _, j := range idx {
+				if j == ia || j == ib || j == ic {
+					continue
+				}
+				p := r[j]
+				if p.Eq(a) || p.Eq(b) || p.Eq(c) {
+					continue // duplicated bridge vertices
+				}
+				if ear.Contains(p) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			tris = append(tris, ear)
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Numerical trouble (e.g. collinear runs): shave the first
+			// vertex to guarantee progress; the dropped sliver has zero
+			// area.
+			idx = idx[1:]
+		}
+	}
+	if len(idx) == 3 {
+		t := Triangle{r[idx[0]], r[idx[1]], r[idx[2]]}
+		if t.Area() > 0 {
+			tris = append(tris, t)
+		}
+	}
+	return tris
+}

@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func triangleAreaSum(tris []Triangle) float64 {
+	var s float64
+	for _, tr := range tris {
+		s += tr.Area()
+	}
+	return s
+}
+
+func TestTriangleContains(t *testing.T) {
+	tr := Triangle{Pt(0, 0), Pt(4, 0), Pt(0, 4)}
+	if !tr.Contains(Pt(1, 1)) {
+		t.Error("should contain interior point")
+	}
+	if !tr.Contains(Pt(2, 0)) {
+		t.Error("should contain edge point")
+	}
+	if tr.Contains(Pt(3, 3)) {
+		t.Error("should not contain exterior point")
+	}
+	if a := tr.Area(); a != 8 {
+		t.Errorf("area = %v, want 8", a)
+	}
+}
+
+func TestTriangulateSquare(t *testing.T) {
+	tris := Triangulate(NewPolygon(unitSquare()))
+	if len(tris) != 2 {
+		t.Fatalf("square triangulation = %d triangles, want 2", len(tris))
+	}
+	if s := triangleAreaSum(tris); math.Abs(s-1) > 1e-12 {
+		t.Errorf("triangle area sum = %v, want 1", s)
+	}
+}
+
+func TestTriangulateLShape(t *testing.T) {
+	tris := Triangulate(NewPolygon(lShape()))
+	if len(tris) != 4 {
+		t.Errorf("L-shape triangulation = %d triangles, want 4", len(tris))
+	}
+	if s := triangleAreaSum(tris); math.Abs(s-3) > 1e-12 {
+		t.Errorf("triangle area sum = %v, want 3", s)
+	}
+}
+
+func TestTriangulateClockwiseInput(t *testing.T) {
+	cw := unitSquare()
+	cw.Reverse()
+	tris := Triangulate(NewPolygon(cw))
+	if s := triangleAreaSum(tris); math.Abs(s-1) > 1e-12 {
+		t.Errorf("CW input area sum = %v, want 1 (Normalize should fix winding)", s)
+	}
+}
+
+func TestTriangulateStar(t *testing.T) {
+	star := StarRing(Pt(0, 0), 2, 0.8, 7)
+	tris := Triangulate(NewPolygon(star))
+	want := star.Area()
+	if s := triangleAreaSum(tris); math.Abs(s-want) > 1e-9 {
+		t.Errorf("star area sum = %v, want %v", s, want)
+	}
+	// n-gon ear clipping yields n-2 triangles.
+	if len(tris) != len(star)-2 {
+		t.Errorf("star triangulation = %d triangles, want %d", len(tris), len(star)-2)
+	}
+}
+
+func TestTriangulateWithHole(t *testing.T) {
+	outer := Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	hole := Ring{Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3)}
+	pg := Polygon{Outer: outer, Holes: []Ring{hole}}
+	tris := Triangulate(pg)
+	if s := triangleAreaSum(tris); math.Abs(s-12) > 1e-9 {
+		t.Errorf("holed area sum = %v, want 12", s)
+	}
+	// No triangle's centroid may fall in the hole.
+	for _, tr := range tris {
+		c := Pt((tr[0].X+tr[1].X+tr[2].X)/3, (tr[0].Y+tr[1].Y+tr[2].Y)/3)
+		if hole.Contains(c) {
+			t.Errorf("triangle centroid %v falls inside the hole", c)
+		}
+	}
+}
+
+func TestTriangulateTwoHoles(t *testing.T) {
+	outer := Ring{Pt(0, 0), Pt(10, 0), Pt(10, 4), Pt(0, 4)}
+	h1 := Ring{Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3)}
+	h2 := Ring{Pt(6, 1), Pt(8, 1), Pt(8, 3), Pt(6, 3)}
+	pg := Polygon{Outer: outer, Holes: []Ring{h1, h2}}
+	tris := Triangulate(pg)
+	want := 40.0 - 4 - 4
+	if s := triangleAreaSum(tris); math.Abs(s-want) > 1e-9 {
+		t.Errorf("two-hole area sum = %v, want %v", s, want)
+	}
+}
+
+func TestTriangulateDegenerate(t *testing.T) {
+	if tris := Triangulate(NewPolygon(Ring{Pt(0, 0), Pt(1, 1)})); tris != nil {
+		t.Errorf("degenerate polygon triangulation = %v, want nil", tris)
+	}
+	if tris := Triangulate(Polygon{}); tris != nil {
+		t.Errorf("empty polygon triangulation = %v, want nil", tris)
+	}
+}
+
+// Property: triangulation preserves area for random star-shaped polygons,
+// and every triangle centroid is inside the polygon.
+func TestTriangulateAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 120; i++ {
+		n := 3 + rng.Intn(40)
+		// Random star-shaped ring: vertices at increasing angles with
+		// random radii, which is always simple.
+		ring := make(Ring, n)
+		for j := range ring {
+			theta := 2 * math.Pi * (float64(j) + rng.Float64()*0.6) / float64(n)
+			r := 0.5 + rng.Float64()*4
+			ring[j] = Pt(r*math.Cos(theta), r*math.Sin(theta))
+		}
+		pg := NewPolygon(ring)
+		tris := Triangulate(pg)
+		if s := triangleAreaSum(tris); math.Abs(s-ring.Area()) > 1e-6*math.Max(1, ring.Area()) {
+			t.Fatalf("iter %d: area sum %v != ring area %v (n=%d)", i, s, ring.Area(), n)
+		}
+		for _, tr := range tris {
+			c := Pt((tr[0].X+tr[1].X+tr[2].X)/3, (tr[0].Y+tr[1].Y+tr[2].Y)/3)
+			if !pg.ContainsBoundary(c, 1e-9) {
+				t.Fatalf("iter %d: triangle centroid %v outside polygon", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package gpu implements a deterministic software stand-in for the GPU
+// rendering pipeline Raster Join targets. It exposes the exact subset of
+// OpenGL functionality the paper's implementation uses — render targets
+// ("textures"), point and polygon draw calls whose per-fragment work is a
+// user-supplied shader function, additive blending, a maximum texture size
+// that forces tiled multi-pass rendering, and draw-call statistics.
+//
+// Substituting a software rasterizer preserves the algorithmic content of
+// Raster Join (what is drawn, and how fragments combine) while removing the
+// hardware dependency; see DESIGN.md for the substitution argument.
+package gpu
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Stats counts the work a device has performed. Counters are cumulative
+// across all canvases created from the device and safe for concurrent draws.
+type Stats struct {
+	DrawCalls       int64 // point/polygon/triangle draw invocations
+	Passes          int64 // render passes (one per canvas per tile)
+	PointsIn        int64 // point vertices submitted
+	TrianglesIn     int64 // triangles submitted
+	PolygonsIn      int64 // polygons submitted
+	FragmentsShaded int64 // fragment-shader invocations
+}
+
+// Device is a software GPU. The zero value is not usable; call New.
+type Device struct {
+	maxTextureSize int
+
+	drawCalls       atomic.Int64
+	passes          atomic.Int64
+	pointsIn        atomic.Int64
+	trianglesIn     atomic.Int64
+	polygonsIn      atomic.Int64
+	fragmentsShaded atomic.Int64
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithMaxTextureSize caps render-target dimensions, forcing callers to tile
+// larger canvases into multiple passes — the same constraint a real GPU's
+// GL_MAX_TEXTURE_SIZE imposes on Raster Join.
+func WithMaxTextureSize(n int) Option {
+	return func(d *Device) {
+		if n > 0 {
+			d.maxTextureSize = n
+		}
+	}
+}
+
+// DefaultMaxTextureSize matches a mid-range GPU while keeping the software
+// simulation's memory footprint modest.
+const DefaultMaxTextureSize = 4096
+
+// New returns a ready device.
+func New(opts ...Option) *Device {
+	d := &Device{maxTextureSize: DefaultMaxTextureSize}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// MaxTextureSize returns the largest canvas dimension the device accepts.
+func (d *Device) MaxTextureSize() int { return d.maxTextureSize }
+
+// Stats returns a snapshot of the device's counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		DrawCalls:       d.drawCalls.Load(),
+		Passes:          d.passes.Load(),
+		PointsIn:        d.pointsIn.Load(),
+		TrianglesIn:     d.trianglesIn.Load(),
+		PolygonsIn:      d.polygonsIn.Load(),
+		FragmentsShaded: d.fragmentsShaded.Load(),
+	}
+}
+
+// ResetStats zeroes the device counters.
+func (d *Device) ResetStats() {
+	d.drawCalls.Store(0)
+	d.passes.Store(0)
+	d.pointsIn.Store(0)
+	d.trianglesIn.Store(0)
+	d.polygonsIn.Store(0)
+	d.fragmentsShaded.Store(0)
+}
+
+// Canvas is a render target bound to a world window: draws against it
+// rasterize world-space geometry onto its pixel grid. A Canvas corresponds
+// to one framebuffer-object pass in the paper's implementation.
+type Canvas struct {
+	dev *Device
+	// T is the world-to-pixel transform of this render target.
+	T raster.Transform
+}
+
+// NewCanvas starts a render pass over a w×h target mapped to the world
+// window. It fails when either dimension exceeds the device's maximum
+// texture size — callers must tile (see Tiles).
+func (d *Device) NewCanvas(world geom.BBox, w, h int) (*Canvas, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("gpu: invalid canvas size %dx%d", w, h)
+	}
+	if w > d.maxTextureSize || h > d.maxTextureSize {
+		return nil, fmt.Errorf("gpu: canvas %dx%d exceeds max texture size %d (tile the render)",
+			w, h, d.maxTextureSize)
+	}
+	d.passes.Add(1)
+	return &Canvas{dev: d, T: raster.NewTransform(world, w, h)}, nil
+}
+
+// Tiles partitions a full-resolution transform into canvas-sized passes and
+// invokes fn with each pass's canvas plus the pixel offset of the tile in
+// the full grid. This is the multi-pass strategy bounded Raster Join uses
+// when its ε-derived resolution exceeds the texture limit.
+func (d *Device) Tiles(full raster.Transform, fn func(c *Canvas, offX, offY int) error) error {
+	step := d.maxTextureSize
+	for y0 := 0; y0 < full.H; y0 += step {
+		for x0 := 0; x0 < full.W; x0 += step {
+			w := min(step, full.W-x0)
+			h := min(step, full.H-y0)
+			sub := full.Sub(x0, y0, w, h)
+			c, err := d.NewCanvas(sub.World, sub.W, sub.H)
+			if err != nil {
+				return err
+			}
+			if err := fn(c, x0, y0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PointShader receives each point fragment: the pixel it landed in and the
+// index of the source vertex, mirroring a fragment shader reading per-vertex
+// attributes.
+type PointShader func(px, py, i int)
+
+// FragmentShader receives each covered pixel of a filled primitive.
+type FragmentShader func(px, py int)
+
+// DrawPoints rasterizes n point vertices whose world position is supplied by
+// pos. Points outside the canvas window are culled (clipped) without shading.
+func (c *Canvas) DrawPoints(n int, pos func(i int) (x, y float64), shader PointShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.pointsIn.Add(int64(n))
+	var shaded int64
+	for i := 0; i < n; i++ {
+		x, y := pos(i)
+		px, py, ok := c.T.ToPixel(geom.Point{X: x, Y: y})
+		if !ok {
+			continue
+		}
+		shaded++
+		shader(px, py, i)
+	}
+	c.dev.fragmentsShaded.Add(shaded)
+}
+
+// DrawTriangles rasterizes a triangle list with pixel-center coverage,
+// invoking the fragment shader once per covered pixel per triangle.
+func (c *Canvas) DrawTriangles(tris []geom.Triangle, shader FragmentShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.trianglesIn.Add(int64(len(tris)))
+	var shaded int64
+	for _, tr := range tris {
+		raster.FillTriangle(c.T, tr, func(px, py int) {
+			shaded++
+			shader(px, py)
+		})
+	}
+	c.dev.fragmentsShaded.Add(shaded)
+}
+
+// DrawPolygon rasterizes a polygon with pixel-center coverage. The device
+// consumes concave polygons directly through its scanline pipeline, which
+// produces the identical fragment set a triangulated draw would — each
+// pixel center is covered by exactly one triangle of any valid
+// triangulation — without the CPU tessellation cost.
+func (c *Canvas) DrawPolygon(pg geom.Polygon, shader FragmentShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.polygonsIn.Add(1)
+	var shaded int64
+	raster.FillPolygon(c.T, pg, func(px, py int) {
+		shaded++
+		shader(px, py)
+	})
+	c.dev.fragmentsShaded.Add(shaded)
+}
+
+// DrawPolygonOutline conservatively rasterizes the polygon's boundary: the
+// shader runs for every pixel any edge passes through (possibly repeatedly
+// when several edges cross one pixel). Raster Join's accurate variant uses
+// this pass to locate the fragments that need exact point-in-polygon tests.
+func (c *Canvas) DrawPolygonOutline(pg geom.Polygon, shader FragmentShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.polygonsIn.Add(1)
+	var shaded int64
+	raster.BoundaryPixels(c.T, pg, func(px, py int) {
+		shaded++
+		shader(px, py)
+	})
+	c.dev.fragmentsShaded.Add(shaded)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

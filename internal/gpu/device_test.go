@@ -1,0 +1,208 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+func testWorld() geom.BBox { return geom.BBox{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8} }
+
+func TestNewCanvasLimits(t *testing.T) {
+	d := New(WithMaxTextureSize(64))
+	if d.MaxTextureSize() != 64 {
+		t.Fatalf("MaxTextureSize = %d, want 64", d.MaxTextureSize())
+	}
+	if _, err := d.NewCanvas(testWorld(), 64, 64); err != nil {
+		t.Errorf("64x64 canvas should fit: %v", err)
+	}
+	if _, err := d.NewCanvas(testWorld(), 65, 64); err == nil {
+		t.Error("65x64 canvas should exceed the limit")
+	} else if !strings.Contains(err.Error(), "max texture size") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	if _, err := d.NewCanvas(testWorld(), 0, 5); err == nil {
+		t.Error("zero-width canvas should fail")
+	}
+}
+
+func TestWithMaxTextureSizeIgnoresNonPositive(t *testing.T) {
+	d := New(WithMaxTextureSize(-5))
+	if d.MaxTextureSize() != DefaultMaxTextureSize {
+		t.Errorf("negative option should be ignored, got %d", d.MaxTextureSize())
+	}
+}
+
+func TestDrawPointsCullsAndShades(t *testing.T) {
+	d := New()
+	c, err := d.NewCanvas(testWorld(), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{0.5, 7.5, -1, 9, 3.5}
+	ys := []float64{0.5, 7.5, 4, 4, 3.5}
+	tex := NewTexture(8, 8)
+	c.DrawPoints(len(xs), func(i int) (float64, float64) { return xs[i], ys[i] },
+		func(px, py, i int) { tex.Add(px, py, 1) })
+
+	if tex.At(0, 0) != 1 || tex.At(7, 7) != 1 || tex.At(3, 3) != 1 {
+		t.Error("in-window points should land in their pixels")
+	}
+	if tex.Sum() != 3 {
+		t.Errorf("total fragments = %v, want 3 (two culled)", tex.Sum())
+	}
+	st := d.Stats()
+	if st.PointsIn != 5 || st.FragmentsShaded != 3 || st.DrawCalls != 1 || st.Passes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDrawPolygonAdditiveBlend(t *testing.T) {
+	d := New()
+	c, _ := d.NewCanvas(testWorld(), 8, 8)
+	tex := NewTexture(8, 8)
+	pg := geom.NewPolygon(geom.RectRing(geom.BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}))
+	c.DrawPolygon(pg, func(px, py int) { tex.Add(px, py, 1) })
+	c.DrawPolygon(pg, func(px, py int) { tex.Add(px, py, 1) })
+	if tex.At(1, 1) != 2 {
+		t.Errorf("double draw should blend to 2, got %v", tex.At(1, 1))
+	}
+	if tex.Sum() != 32 {
+		t.Errorf("sum = %v, want 2 draws x 16 pixels", tex.Sum())
+	}
+}
+
+func TestDrawTrianglesMatchesPolygon(t *testing.T) {
+	d := New()
+	c, _ := d.NewCanvas(testWorld(), 8, 8)
+	pg := geom.NewPolygon(geom.StarRing(geom.Pt(4, 4), 3.5, 1.5, 7))
+
+	byPoly := NewTexture(8, 8)
+	c.DrawPolygon(pg, func(px, py int) { byPoly.Add(px, py, 1) })
+
+	byTris := NewTexture(8, 8)
+	c.DrawTriangles(geom.Triangulate(pg), func(px, py int) { byTris.Add(px, py, 1) })
+
+	for i := range byPoly.Data {
+		if byPoly.Data[i] != byTris.Data[i] {
+			t.Fatalf("pixel %d: polygon pipeline %v != triangle pipeline %v",
+				i, byPoly.Data[i], byTris.Data[i])
+		}
+	}
+}
+
+func TestDrawPolygonOutline(t *testing.T) {
+	d := New()
+	c, _ := d.NewCanvas(testWorld(), 8, 8)
+	pg := geom.NewPolygon(geom.RectRing(geom.BBox{MinX: 1.5, MinY: 1.5, MaxX: 6.5, MaxY: 6.5}))
+	marked := map[[2]int]bool{}
+	c.DrawPolygonOutline(pg, func(px, py int) { marked[[2]int{px, py}] = true })
+	// Every corner cell of the rect must be marked; the interior must not.
+	for _, cell := range [][2]int{{1, 1}, {6, 1}, {6, 6}, {1, 6}} {
+		if !marked[cell] {
+			t.Errorf("outline should mark corner cell %v", cell)
+		}
+	}
+	if marked[[2]int{4, 4}] {
+		t.Error("outline should not mark deep-interior cell")
+	}
+}
+
+func TestTiles(t *testing.T) {
+	d := New(WithMaxTextureSize(16))
+	full := raster.NewTransform(geom.BBox{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}, 40, 40)
+	type tile struct{ offX, offY, w, h int }
+	var got []tile
+	err := d.Tiles(full, func(c *Canvas, offX, offY int) error {
+		got = append(got, tile{offX, offY, c.T.W, c.T.H})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40/16 → tiles at offsets 0,16,32 in each axis: 3x3 = 9 tiles; last
+	// row/col are 8 wide/high.
+	if len(got) != 9 {
+		t.Fatalf("tile count = %d, want 9", len(got))
+	}
+	area := 0
+	for _, tl := range got {
+		area += tl.w * tl.h
+		if tl.w > 16 || tl.h > 16 {
+			t.Errorf("tile %v exceeds max texture size", tl)
+		}
+	}
+	if area != 1600 {
+		t.Errorf("tiles cover %d pixels, want 1600", area)
+	}
+	if st := d.Stats(); st.Passes != 9 {
+		t.Errorf("passes = %d, want 9", st.Passes)
+	}
+}
+
+func TestTilesPixelAlignment(t *testing.T) {
+	// A tile's pixel (0,0) center must coincide with the corresponding
+	// full-resolution pixel center, or tiled results would drift.
+	d := New(WithMaxTextureSize(8))
+	full := raster.NewTransform(geom.BBox{MinX: -3, MinY: 2, MaxX: 29, MaxY: 34}, 20, 20)
+	err := d.Tiles(full, func(c *Canvas, offX, offY int) error {
+		want := full.PixelCenter(offX, offY)
+		got := c.T.PixelCenter(0, 0)
+		if !got.NearEq(want, 1e-9) {
+			t.Errorf("tile (%d,%d) misaligned: %v vs %v", offX, offY, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New()
+	c, _ := d.NewCanvas(testWorld(), 4, 4)
+	c.DrawPoints(1, func(int) (float64, float64) { return 1, 1 }, func(int, int, int) {})
+	d.ResetStats()
+	if st := d.Stats(); st != (Stats{}) {
+		t.Errorf("stats after reset = %+v, want zero", st)
+	}
+}
+
+func TestTextureOps(t *testing.T) {
+	tex := NewTexture(4, 3)
+	tex.Set(1, 2, 5)
+	tex.Add(1, 2, 2.5)
+	if tex.At(1, 2) != 7.5 {
+		t.Errorf("At = %v, want 7.5", tex.At(1, 2))
+	}
+	if tex.Sum() != 7.5 {
+		t.Errorf("Sum = %v, want 7.5", tex.Sum())
+	}
+	tex.Clear()
+	if tex.Sum() != 0 {
+		t.Error("Clear should zero the texture")
+	}
+}
+
+func TestTextureBlendEquations(t *testing.T) {
+	tex := NewTexture(2, 2)
+	tex.Fill(100)
+	if tex.At(0, 0) != 100 || tex.At(1, 1) != 100 {
+		t.Fatal("Fill should set every pixel")
+	}
+	// MIN blending only lowers.
+	tex.TakeMin(0, 0, 42)
+	tex.TakeMin(0, 0, 77)
+	if tex.At(0, 0) != 42 {
+		t.Errorf("TakeMin = %v, want 42", tex.At(0, 0))
+	}
+	// MAX blending only raises.
+	tex.Fill(-100)
+	tex.TakeMax(1, 0, 3)
+	tex.TakeMax(1, 0, -5)
+	if tex.At(1, 0) != 3 {
+		t.Errorf("TakeMax = %v, want 3", tex.At(1, 0))
+	}
+}

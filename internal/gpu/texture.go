@@ -1,0 +1,68 @@
+package gpu
+
+// Texture is a single-channel float64 render-target attachment. Raster Join
+// binds two of these per pass: a per-pixel point count and a per-pixel
+// attribute sum. Additive blending is expressed through Add, matching
+// glBlendFunc(GL_ONE, GL_ONE) on a float framebuffer.
+type Texture struct {
+	W, H int
+	// Data is the row-major pixel storage, exposed for bulk readback
+	// (glReadPixels equivalent) by the join kernels.
+	Data []float64
+}
+
+// NewTexture returns a cleared w×h texture.
+func NewTexture(w, h int) *Texture {
+	return &Texture{W: w, H: h, Data: make([]float64, w*h)}
+}
+
+// At returns the value at pixel (x,y).
+func (t *Texture) At(x, y int) float64 { return t.Data[y*t.W+x] }
+
+// Set stores v at pixel (x,y).
+func (t *Texture) Set(x, y int, v float64) { t.Data[y*t.W+x] = v }
+
+// Add accumulates v into pixel (x,y) — additive blending.
+func (t *Texture) Add(x, y int, v float64) { t.Data[y*t.W+x] += v }
+
+// Clear zeroes the texture, retaining its allocation.
+func (t *Texture) Clear() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every pixel to v (used to initialize MIN/MAX render targets to
+// ±Inf before blending).
+func (t *Texture) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// TakeMin lowers pixel (x,y) to v when v is smaller — the MIN blend
+// equation (glBlendEquation(GL_MIN)).
+func (t *Texture) TakeMin(x, y int, v float64) {
+	i := y*t.W + x
+	if v < t.Data[i] {
+		t.Data[i] = v
+	}
+}
+
+// TakeMax raises pixel (x,y) to v when v is larger — the MAX blend
+// equation.
+func (t *Texture) TakeMax(x, y int, v float64) {
+	i := y*t.W + x
+	if v > t.Data[i] {
+		t.Data[i] = v
+	}
+}
+
+// Sum returns the total of all pixels (useful for conservation checks).
+func (t *Texture) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package index
+
+import (
+	"repro/internal/data"
+	"repro/internal/geom"
+)
+
+// Quadtree is a PR (point-region) quadtree over a point set: leaves hold up
+// to a fixed bucket of point indices, splitting into four quadrants when
+// they overflow. It adapts to the heavy spatial skew of urban data better
+// than the uniform grid.
+type Quadtree struct {
+	ps     *data.PointSet
+	root   *qnode
+	bucket int
+	// maxDepth bounds splitting so coincident points cannot recurse
+	// forever.
+	maxDepth int
+}
+
+type qnode struct {
+	box      geom.BBox
+	ids      []int32 // leaf payload; nil for internal nodes
+	children *[4]qnode
+}
+
+// QuadtreeBucket is the default leaf capacity.
+const QuadtreeBucket = 64
+
+// BuildQuadtree indexes the point set with the given leaf bucket size
+// (<=0 uses QuadtreeBucket).
+func BuildQuadtree(ps *data.PointSet, bucket int) *Quadtree {
+	if bucket <= 0 {
+		bucket = QuadtreeBucket
+	}
+	qt := &Quadtree{ps: ps, bucket: bucket, maxDepth: 24}
+	b := ps.Bounds()
+	if b.IsEmpty() {
+		b = geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	qt.root = &qnode{box: b}
+	for i := 0; i < ps.Len(); i++ {
+		qt.insert(qt.root, int32(i), 0)
+	}
+	return qt
+}
+
+// PointSet returns the indexed point set.
+func (qt *Quadtree) PointSet() *data.PointSet { return qt.ps }
+
+func (qt *Quadtree) insert(n *qnode, id int32, depth int) {
+	for {
+		if n.children == nil {
+			n.ids = append(n.ids, id)
+			if len(n.ids) > qt.bucket && depth < qt.maxDepth {
+				qt.split(n, depth)
+			}
+			return
+		}
+		n = &n.children[qt.quadrant(n, id)]
+		depth++
+	}
+}
+
+func (qt *Quadtree) quadrant(n *qnode, id int32) int {
+	c := n.box.Center()
+	q := 0
+	if qt.ps.X[id] > c.X {
+		q |= 1
+	}
+	if qt.ps.Y[id] > c.Y {
+		q |= 2
+	}
+	return q
+}
+
+func (qt *Quadtree) split(n *qnode, depth int) {
+	c := n.box.Center()
+	b := n.box
+	n.children = &[4]qnode{
+		{box: geom.BBox{MinX: b.MinX, MinY: b.MinY, MaxX: c.X, MaxY: c.Y}},
+		{box: geom.BBox{MinX: c.X, MinY: b.MinY, MaxX: b.MaxX, MaxY: c.Y}},
+		{box: geom.BBox{MinX: b.MinX, MinY: c.Y, MaxX: c.X, MaxY: b.MaxY}},
+		{box: geom.BBox{MinX: c.X, MinY: c.Y, MaxX: b.MaxX, MaxY: b.MaxY}},
+	}
+	ids := n.ids
+	n.ids = nil
+	for _, id := range ids {
+		qt.insert(&n.children[qt.quadrant(n, id)], id, depth+1)
+	}
+}
+
+// CandidatesInBBox calls visit for every point index stored in a leaf whose
+// box overlaps b — a superset of the points inside b.
+func (qt *Quadtree) CandidatesInBBox(b geom.BBox, visit func(id int32)) {
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if !n.box.Intersects(b) {
+			return
+		}
+		if n.children == nil {
+			for _, id := range n.ids {
+				visit(id)
+			}
+			return
+		}
+		for i := range n.children {
+			walk(&n.children[i])
+		}
+	}
+	walk(qt.root)
+}
+
+// Depth returns the maximum depth of the tree (root = 0), a structural
+// diagnostic used by tests.
+func (qt *Quadtree) Depth() int {
+	var walk func(n *qnode) int
+	walk = func(n *qnode) int {
+		if n.children == nil {
+			return 0
+		}
+		d := 0
+		for i := range n.children {
+			if c := walk(&n.children[i]); c > d {
+				d = c
+			}
+		}
+		return d + 1
+	}
+	return walk(qt.root)
+}
+
+// Size returns the number of indexed points, another structural check.
+func (qt *Quadtree) Size() int {
+	var walk func(n *qnode) int
+	walk = func(n *qnode) int {
+		if n.children == nil {
+			return len(n.ids)
+		}
+		s := 0
+		for i := range n.children {
+			s += walk(&n.children[i])
+		}
+		return s
+	}
+	return walk(qt.root)
+}

@@ -1,0 +1,176 @@
+// Package mercator implements the spherical Web-Mercator projection
+// (EPSG:3857) and the slippy-map tile arithmetic Urbane's map view uses.
+//
+// Raster Join's error bound ε is expressed in ground meters; converting it
+// to a canvas resolution requires the meters-per-pixel scale at the data's
+// latitude, which this package provides.
+package mercator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// EarthRadius is the WGS84 spherical radius in meters used by EPSG:3857.
+const EarthRadius = 6378137.0
+
+// MaxLatitude is the latitude bound of the square Web-Mercator world.
+const MaxLatitude = 85.05112877980659
+
+// LngLat is a geographic coordinate in degrees.
+type LngLat struct {
+	Lng, Lat float64
+}
+
+// Project converts a geographic coordinate to Web-Mercator meters.
+// Latitudes are clamped to ±MaxLatitude.
+func Project(ll LngLat) geom.Point {
+	lat := clamp(ll.Lat, -MaxLatitude, MaxLatitude)
+	x := EarthRadius * ll.Lng * math.Pi / 180
+	y := EarthRadius * math.Log(math.Tan(math.Pi/4+lat*math.Pi/360))
+	return geom.Point{X: x, Y: y}
+}
+
+// Unproject converts Web-Mercator meters back to a geographic coordinate.
+func Unproject(p geom.Point) LngLat {
+	lng := p.X / EarthRadius * 180 / math.Pi
+	lat := (2*math.Atan(math.Exp(p.Y/EarthRadius)) - math.Pi/2) * 180 / math.Pi
+	return LngLat{Lng: lng, Lat: lat}
+}
+
+// ProjectBBox projects the geographic box spanned by two corners.
+func ProjectBBox(min, max LngLat) geom.BBox {
+	a := Project(min)
+	b := Project(max)
+	return geom.NewBBox(a.X, a.Y, b.X, b.Y)
+}
+
+// MetersPerDegreeLng returns ground meters per degree of longitude at the
+// given latitude (degrees).
+func MetersPerDegreeLng(lat float64) float64 {
+	return EarthRadius * math.Pi / 180 * math.Cos(lat*math.Pi/180)
+}
+
+// GroundResolution returns ground meters per mercator meter at the given
+// latitude: mercator distances are stretched by 1/cos(lat), so one mercator
+// meter covers cos(lat) ground meters.
+func GroundResolution(lat float64) float64 {
+	return math.Cos(lat * math.Pi / 180)
+}
+
+// MetersPerPixel returns ground meters per pixel at the given latitude and
+// slippy-map zoom level with 256-pixel tiles.
+func MetersPerPixel(lat float64, zoom int) float64 {
+	return 2 * math.Pi * EarthRadius * GroundResolution(lat) / (256 * math.Exp2(float64(zoom)))
+}
+
+// Tile addresses a slippy-map tile.
+type Tile struct {
+	Z, X, Y int
+}
+
+// String implements fmt.Stringer in z/x/y form.
+func (t Tile) String() string { return fmt.Sprintf("%d/%d/%d", t.Z, t.X, t.Y) }
+
+// TileAt returns the tile containing the geographic coordinate at a zoom
+// level. X grows east, Y grows south (slippy-map convention).
+func TileAt(ll LngLat, zoom int) Tile {
+	n := math.Exp2(float64(zoom))
+	lat := clamp(ll.Lat, -MaxLatitude, MaxLatitude) * math.Pi / 180
+	x := int(math.Floor((ll.Lng + 180) / 360 * n))
+	y := int(math.Floor((1 - math.Log(math.Tan(lat)+1/math.Cos(lat))/math.Pi) / 2 * n))
+	max := int(n) - 1
+	return Tile{Z: zoom, X: clampInt(x, 0, max), Y: clampInt(y, 0, max)}
+}
+
+// BBox returns the tile's extent in Web-Mercator meters.
+func (t Tile) BBox() geom.BBox {
+	n := math.Exp2(float64(t.Z))
+	world := 2 * math.Pi * EarthRadius
+	size := world / n
+	minX := -world/2 + float64(t.X)*size
+	maxY := world/2 - float64(t.Y)*size
+	return geom.BBox{MinX: minX, MinY: maxY - size, MaxX: minX + size, MaxY: maxY}
+}
+
+// Children returns the four tiles at the next zoom level covering t.
+func (t Tile) Children() [4]Tile {
+	return [4]Tile{
+		{t.Z + 1, 2 * t.X, 2 * t.Y},
+		{t.Z + 1, 2*t.X + 1, 2 * t.Y},
+		{t.Z + 1, 2 * t.X, 2*t.Y + 1},
+		{t.Z + 1, 2*t.X + 1, 2*t.Y + 1},
+	}
+}
+
+// Parent returns the tile one zoom level up containing t. The parent of a
+// zoom-0 tile is itself.
+func (t Tile) Parent() Tile {
+	if t.Z == 0 {
+		return t
+	}
+	return Tile{t.Z - 1, t.X / 2, t.Y / 2}
+}
+
+// TilesCovering returns all tiles at the zoom level whose extent intersects
+// the mercator box b.
+func TilesCovering(b geom.BBox, zoom int) []Tile {
+	if b.IsEmpty() {
+		return nil
+	}
+	n := math.Exp2(float64(zoom))
+	world := 2 * math.Pi * EarthRadius
+	size := world / n
+	toIdx := func(v float64) int {
+		return clampInt(int(math.Floor((v+world/2)/size)), 0, int(n)-1)
+	}
+	toIdxY := func(v float64) int {
+		return clampInt(int(math.Floor((world/2-v)/size)), 0, int(n)-1)
+	}
+	x0, x1 := toIdx(b.MinX), toIdx(b.MaxX)
+	y0, y1 := toIdxY(b.MaxY), toIdxY(b.MinY)
+	var tiles []Tile
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			tiles = append(tiles, Tile{zoom, x, y})
+		}
+	}
+	return tiles
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NYC is the geographic bounding box of New York City used throughout the
+// reproduction (matching the paper's primary workload).
+var NYC = struct {
+	Min, Max LngLat
+	// CenterLat is used for meter/pixel conversions over the city.
+	CenterLat float64
+}{
+	Min:       LngLat{Lng: -74.2591, Lat: 40.4774},
+	Max:       LngLat{Lng: -73.7004, Lat: 40.9176},
+	CenterLat: 40.7,
+}
+
+// NYCBounds returns New York City's extent in Web-Mercator meters.
+func NYCBounds() geom.BBox { return ProjectBBox(NYC.Min, NYC.Max) }

@@ -1,0 +1,170 @@
+package mercator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestProjectOrigin(t *testing.T) {
+	p := Project(LngLat{0, 0})
+	if !p.NearEq(geom.Pt(0, 0), 1e-9) {
+		t.Errorf("Project(0,0) = %v, want origin", p)
+	}
+}
+
+func TestProjectKnownPoint(t *testing.T) {
+	// 180°E maps to half the world circumference.
+	p := Project(LngLat{Lng: 180, Lat: 0})
+	want := math.Pi * EarthRadius
+	if math.Abs(p.X-want) > 1e-6 {
+		t.Errorf("x at 180E = %v, want %v", p.X, want)
+	}
+	// The mercator world is square: y at MaxLatitude equals x at 180E.
+	p = Project(LngLat{Lng: 0, Lat: MaxLatitude})
+	if math.Abs(p.Y-want) > 1 {
+		t.Errorf("y at max lat = %v, want %v", p.Y, want)
+	}
+}
+
+func TestProjectClampsLatitude(t *testing.T) {
+	a := Project(LngLat{0, 89.9})
+	b := Project(LngLat{0, MaxLatitude})
+	if a.Y != b.Y {
+		t.Errorf("latitudes beyond the bound should clamp: %v vs %v", a.Y, b.Y)
+	}
+}
+
+func TestProjectUnprojectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		ll := LngLat{
+			Lng: rng.Float64()*360 - 180,
+			Lat: rng.Float64()*160 - 80,
+		}
+		got := Unproject(Project(ll))
+		if math.Abs(got.Lng-ll.Lng) > 1e-9 || math.Abs(got.Lat-ll.Lat) > 1e-9 {
+			t.Fatalf("round trip %v -> %v", ll, got)
+		}
+	}
+}
+
+func TestMetersPerDegreeLng(t *testing.T) {
+	// At the equator: ~111.3 km per degree.
+	if got := MetersPerDegreeLng(0); math.Abs(got-111319.5) > 1 {
+		t.Errorf("meters/degree at equator = %v, want ~111319.5", got)
+	}
+	// At 60°: exactly half.
+	if got := MetersPerDegreeLng(60); math.Abs(got-111319.5/2) > 1 {
+		t.Errorf("meters/degree at 60N = %v, want ~55659.7", got)
+	}
+}
+
+func TestGroundResolution(t *testing.T) {
+	if g := GroundResolution(0); g != 1 {
+		t.Errorf("ground resolution at equator = %v, want 1", g)
+	}
+	if g := GroundResolution(60); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("ground resolution at 60N = %v, want 0.5", g)
+	}
+}
+
+func TestMetersPerPixel(t *testing.T) {
+	// Zoom 0 at the equator: whole world / 256 pixels.
+	want := 2 * math.Pi * EarthRadius / 256
+	if got := MetersPerPixel(0, 0); math.Abs(got-want) > 1e-6 {
+		t.Errorf("m/px at z0 = %v, want %v", got, want)
+	}
+	// Every zoom level halves it.
+	if got := MetersPerPixel(0, 1); math.Abs(got-want/2) > 1e-6 {
+		t.Errorf("m/px at z1 = %v, want %v", got, want/2)
+	}
+}
+
+func TestTileAt(t *testing.T) {
+	// Zoom 0 has a single tile.
+	if tl := TileAt(LngLat{-73.98, 40.75}, 0); tl != (Tile{0, 0, 0}) {
+		t.Errorf("z0 tile = %v, want 0/0/0", tl)
+	}
+	// Zoom 1: NYC is in the northwest quadrant (x=0, y=0).
+	if tl := TileAt(LngLat{-73.98, 40.75}, 1); tl != (Tile{1, 0, 0}) {
+		t.Errorf("z1 tile = %v, want 1/0/0", tl)
+	}
+	// Sydney: southeast quadrant.
+	if tl := TileAt(LngLat{151.2, -33.9}, 1); tl != (Tile{1, 1, 1}) {
+		t.Errorf("z1 Sydney tile = %v, want 1/1/1", tl)
+	}
+}
+
+func TestTileBBoxContainsItsPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		ll := LngLat{rng.Float64()*360 - 180, rng.Float64()*160 - 80}
+		z := rng.Intn(18)
+		tl := TileAt(ll, z)
+		if !tl.BBox().Contains(Project(ll)) {
+			t.Fatalf("tile %v does not contain %v", tl, ll)
+		}
+	}
+}
+
+func TestTileChildrenParent(t *testing.T) {
+	tl := Tile{5, 9, 13}
+	for _, c := range tl.Children() {
+		if c.Parent() != tl {
+			t.Errorf("child %v parent = %v, want %v", c, c.Parent(), tl)
+		}
+		if !tl.BBox().ContainsBBox(c.BBox().Expand(-1e-6)) {
+			t.Errorf("child %v bbox not inside parent", c)
+		}
+	}
+	if (Tile{0, 0, 0}).Parent() != (Tile{0, 0, 0}) {
+		t.Error("zoom-0 parent should be itself")
+	}
+}
+
+func TestTilesCovering(t *testing.T) {
+	// The whole world at zoom 1 is 4 tiles.
+	world := geom.BBox{
+		MinX: -math.Pi * EarthRadius, MinY: -math.Pi * EarthRadius,
+		MaxX: math.Pi * EarthRadius, MaxY: math.Pi * EarthRadius,
+	}
+	tiles := TilesCovering(world, 1)
+	if len(tiles) != 4 {
+		t.Errorf("world z1 coverage = %d tiles, want 4", len(tiles))
+	}
+	if TilesCovering(geom.EmptyBBox(), 3) != nil {
+		t.Error("empty box should cover no tiles")
+	}
+	// A single point box covers exactly one tile.
+	p := Project(LngLat{-73.98, 40.75})
+	one := TilesCovering(geom.BBox{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, 12)
+	if len(one) != 1 {
+		t.Errorf("point coverage = %d tiles, want 1", len(one))
+	}
+	if one[0] != TileAt(LngLat{-73.98, 40.75}, 12) {
+		t.Errorf("point coverage tile = %v, want %v", one[0], TileAt(LngLat{-73.98, 40.75}, 12))
+	}
+}
+
+func TestTileString(t *testing.T) {
+	if s := (Tile{3, 2, 1}).String(); s != "3/2/1" {
+		t.Errorf("String = %q, want 3/2/1", s)
+	}
+}
+
+func TestNYCBounds(t *testing.T) {
+	b := NYCBounds()
+	if b.IsEmpty() {
+		t.Fatal("NYC bounds should not be empty")
+	}
+	// NYC is roughly 47km x 60km in mercator meters (stretched by ~1/cos40.7).
+	if b.Width() < 40000 || b.Width() > 80000 {
+		t.Errorf("NYC width = %v m, want 40-80 km", b.Width())
+	}
+	if !b.Contains(Project(LngLat{-73.98, 40.75})) {
+		t.Error("midtown should be inside NYC bounds")
+	}
+}

@@ -1,0 +1,34 @@
+package query
+
+import "testing"
+
+// FuzzParse asserts the statement parser is total: any input either parses
+// or errors, never panics, and anything that parses re-parses from its own
+// String() rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT COUNT(*) FROM taxi, neighborhoods GROUP BY id",
+		"SELECT AVG(fare) FROM a, b WHERE fare BETWEEN 5 AND 30",
+		"SELECT MAX(x) FROM p, r WHERE time BETWEEN 0 AND 86400",
+		"select sum(y) from p , r where inside and y between -1 and 2.5",
+		"SELECT",
+		"((((",
+		"SELECT COUNT(*) FROM a, b WHERE fare BETWEEN one AND two",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, stmt string) {
+		q, err := Parse(stmt)
+		if err != nil {
+			return
+		}
+		// Round trip: a successfully parsed query must re-parse.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", q.String(), stmt, err)
+		}
+		if q2.Agg != q.Agg || len(q2.Filters) != len(q.Filters) {
+			t.Fatalf("round trip drifted: %+v vs %+v", q2, q)
+		}
+	})
+}

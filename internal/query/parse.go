@@ -1,0 +1,302 @@
+// Package query provides the SQL-like front end over the spatial
+// aggregation engines: a parser for the paper's query form
+//
+//	SELECT AGG(a_i) FROM P, R
+//	WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+//	GROUP BY R.id
+//
+// a planner that routes each query to the cheapest capable engine
+// (pre-aggregation cube for canned queries, Raster Join for everything
+// else), and an executor that times the run.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Query is the parsed form of a spatial aggregation statement.
+type Query struct {
+	Agg     core.Agg
+	Attr    string // aggregated attribute ("" for COUNT)
+	Points  string // point data set name
+	Regions string // region layer name
+	Filters []core.Filter
+	Time    *core.TimeFilter
+}
+
+// String renders the query back in its SQL form.
+func (q Query) String() string {
+	var b strings.Builder
+	arg := "*"
+	if q.Attr != "" {
+		arg = q.Attr
+	}
+	fmt.Fprintf(&b, "SELECT %s(%s) FROM %s, %s WHERE %s.loc INSIDE %s.geometry",
+		q.Agg, arg, q.Points, q.Regions, q.Points, q.Regions)
+	for _, f := range q.Filters {
+		fmt.Fprintf(&b, " AND %s BETWEEN %g AND %g", f.Attr, f.Min, f.Max)
+	}
+	if q.Time != nil {
+		fmt.Fprintf(&b, " AND time BETWEEN %d AND %d", q.Time.Start, q.Time.End)
+	}
+	b.WriteString(" GROUP BY id")
+	return b.String()
+}
+
+// Parse reads the SQL-like dialect:
+//
+//	SELECT COUNT(*) FROM taxi, neighborhoods GROUP BY id
+//	SELECT AVG(fare) FROM taxi, neighborhoods
+//	    WHERE INSIDE AND fare BETWEEN 5 AND 30
+//	    AND time BETWEEN 1230768000 AND 1233446400 GROUP BY id
+//
+// The INSIDE predicate and GROUP BY clause are implied by the query class
+// and may be omitted; filter conditions are `attr BETWEEN lo AND hi` with
+// half-open [lo, hi) semantics, and `time BETWEEN a AND b` maps to the time
+// filter.
+func Parse(s string) (Query, error) {
+	toks := tokenize(s)
+	p := &parser{toks: toks}
+	q := Query{}
+
+	if err := p.expectWord("SELECT"); err != nil {
+		return q, err
+	}
+	aggName, err := p.word("aggregate function")
+	if err != nil {
+		return q, err
+	}
+	switch strings.ToUpper(aggName) {
+	case "COUNT":
+		q.Agg = core.Count
+	case "SUM":
+		q.Agg = core.Sum
+	case "AVG":
+		q.Agg = core.Avg
+	case "MIN":
+		q.Agg = core.Min
+	case "MAX":
+		q.Agg = core.Max
+	default:
+		return q, fmt.Errorf("query: unknown aggregate %q (want COUNT, SUM, AVG, MIN or MAX)", aggName)
+	}
+	if err := p.expect("("); err != nil {
+		return q, err
+	}
+	arg, err := p.word("aggregate argument")
+	if err != nil {
+		return q, err
+	}
+	if arg != "*" {
+		q.Attr = arg
+	} else if q.Agg != core.Count {
+		return q, fmt.Errorf("query: %v(*) needs an attribute", q.Agg)
+	}
+	if err := p.expect(")"); err != nil {
+		return q, err
+	}
+
+	if err := p.expectWord("FROM"); err != nil {
+		return q, err
+	}
+	if q.Points, err = p.word("point set name"); err != nil {
+		return q, err
+	}
+	if err := p.expect(","); err != nil {
+		return q, err
+	}
+	if q.Regions, err = p.word("region set name"); err != nil {
+		return q, err
+	}
+
+	// Optional WHERE clause.
+	if p.acceptWord("WHERE") {
+		first := true
+		for {
+			if !first && !p.acceptWord("AND") {
+				break
+			}
+			first = false
+			if p.done() {
+				return q, fmt.Errorf("query: dangling AND")
+			}
+			// `P.loc INSIDE R.geometry` or bare `INSIDE` — the implied join
+			// predicate; skip it.
+			if p.peekContains("INSIDE") {
+				p.skipThroughWord("INSIDE")
+				// Optionally consume the `R.geometry` operand.
+				if w, ok := p.peekWord(); ok && !isKeyword(w) {
+					p.next()
+				}
+				continue
+			}
+			attr, err := p.word("filter attribute")
+			if err != nil {
+				return q, err
+			}
+			if err := p.expectWord("BETWEEN"); err != nil {
+				return q, err
+			}
+			loTok, err := p.word("lower bound")
+			if err != nil {
+				return q, err
+			}
+			if err := p.expectWord("AND"); err != nil {
+				return q, err
+			}
+			hiTok, err := p.word("upper bound")
+			if err != nil {
+				return q, err
+			}
+			if strings.EqualFold(attr, "time") {
+				start, err1 := strconv.ParseInt(loTok, 10, 64)
+				end, err2 := strconv.ParseInt(hiTok, 10, 64)
+				if err1 != nil || err2 != nil {
+					return q, fmt.Errorf("query: time bounds must be unix seconds: %s..%s", loTok, hiTok)
+				}
+				q.Time = &core.TimeFilter{Start: start, End: end}
+				continue
+			}
+			lo, err1 := strconv.ParseFloat(loTok, 64)
+			hi, err2 := strconv.ParseFloat(hiTok, 64)
+			if err1 != nil || err2 != nil {
+				return q, fmt.Errorf("query: bounds for %q must be numeric: %s..%s", attr, loTok, hiTok)
+			}
+			q.Filters = append(q.Filters, core.Filter{Attr: attr, Min: lo, Max: hi})
+		}
+	}
+
+	// Optional GROUP BY id.
+	if p.acceptWord("GROUP") {
+		if err := p.expectWord("BY"); err != nil {
+			return q, err
+		}
+		if _, err := p.word("group key"); err != nil {
+			return q, err
+		}
+	}
+	if !p.done() {
+		return q, fmt.Errorf("query: unexpected trailing input %q", p.rest())
+	}
+	return q, nil
+}
+
+func isKeyword(w string) bool {
+	switch strings.ToUpper(w) {
+	case "AND", "WHERE", "GROUP", "BY", "BETWEEN", "INSIDE":
+		return true
+	}
+	return false
+}
+
+// tokenize splits on whitespace and the punctuation (),.
+func tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			flush()
+		case '(', ')', ',':
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) next() string {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) rest() string { return strings.Join(p.toks[p.pos:], " ") }
+
+func (p *parser) peekWord() (string, bool) {
+	if p.done() {
+		return "", false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) peekContains(kw string) bool {
+	if w, ok := p.peekWord(); ok {
+		// Allows both `INSIDE` and `P.loc` followed by `INSIDE`.
+		if strings.EqualFold(w, kw) {
+			return true
+		}
+		if p.pos+1 < len(p.toks) && strings.EqualFold(p.toks[p.pos+1], kw) &&
+			strings.Contains(w, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) skipThroughWord(kw string) {
+	for !p.done() {
+		if strings.EqualFold(p.next(), kw) {
+			return
+		}
+	}
+}
+
+func (p *parser) word(what string) (string, error) {
+	if p.done() {
+		return "", fmt.Errorf("query: expected %s, got end of input", what)
+	}
+	t := p.next()
+	if t == "(" || t == ")" || t == "," {
+		return "", fmt.Errorf("query: expected %s, got %q", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expect(tok string) error {
+	if p.done() {
+		return fmt.Errorf("query: expected %q, got end of input", tok)
+	}
+	if t := p.next(); t != tok {
+		return fmt.Errorf("query: expected %q, got %q", tok, t)
+	}
+	return nil
+}
+
+func (p *parser) expectWord(kw string) error {
+	if p.done() {
+		return fmt.Errorf("query: expected %s, got end of input", kw)
+	}
+	if t := p.next(); !strings.EqualFold(t, kw) {
+		return fmt.Errorf("query: expected %s, got %q", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) acceptWord(kw string) bool {
+	if w, ok := p.peekWord(); ok && strings.EqualFold(w, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}

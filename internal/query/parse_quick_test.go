@@ -1,0 +1,85 @@
+package query
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: String() of any well-formed query re-parses to an equivalent
+// query (parser/printer round trip).
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(aggSel uint8, nf uint8, mins []int16, widths []uint16,
+		timed bool, t0 int32, dur uint16) bool {
+
+		q := Query{Points: "pts", Regions: "regs"}
+		switch aggSel % 3 {
+		case 0:
+			q.Agg = core.Count
+		case 1:
+			q.Agg, q.Attr = core.Sum, "a"
+		case 2:
+			q.Agg, q.Attr = core.Avg, "b"
+		}
+		n := int(nf % 4)
+		for i := 0; i < n && i < len(mins) && i < len(widths); i++ {
+			lo := float64(mins[i])
+			q.Filters = append(q.Filters, core.Filter{
+				Attr: "f" + string(rune('a'+i)),
+				Min:  lo,
+				Max:  lo + float64(widths[i]) + 1,
+			})
+		}
+		if timed {
+			q.Time = &core.TimeFilter{Start: int64(t0), End: int64(t0) + int64(dur) + 1}
+		}
+
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Logf("re-parse failed for %q: %v", q.String(), err)
+			return false
+		}
+		if q2.Agg != q.Agg || q2.Attr != q.Attr ||
+			q2.Points != q.Points || q2.Regions != q.Regions {
+			return false
+		}
+		if len(q2.Filters) != len(q.Filters) {
+			return false
+		}
+		for i := range q.Filters {
+			if q2.Filters[i].Attr != q.Filters[i].Attr ||
+				math.Abs(q2.Filters[i].Min-q.Filters[i].Min) > 1e-9 ||
+				math.Abs(q2.Filters[i].Max-q.Filters[i].Max) > 1e-9 {
+				return false
+			}
+		}
+		if (q2.Time == nil) != (q.Time == nil) {
+			return false
+		}
+		if q.Time != nil && *q2.Time != *q.Time {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

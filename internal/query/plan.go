@@ -1,0 +1,116 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/data"
+)
+
+// Catalog resolves data set names to their contents. internal/urbane's
+// registry implements it.
+type Catalog interface {
+	PointSet(name string) (*data.PointSet, bool)
+	RegionSet(name string) (*data.RegionSet, bool)
+}
+
+// Plan is a routed, ready-to-execute query.
+type Plan struct {
+	Query   Query
+	Request core.Request
+	Joiner  core.Joiner
+	// Reason explains the routing decision for observability.
+	Reason string
+}
+
+// Planner routes queries: pre-aggregation cubes answer their canned family
+// in microseconds; everything else — ad-hoc filters, foreign layers,
+// misaligned windows — goes to Raster Join, which is the paper's point.
+type Planner struct {
+	// Cubes are consulted in order; the first that can serve wins.
+	Cubes []*cube.Cube
+	// Raster answers everything the cubes cannot. Required.
+	Raster *core.RasterJoin
+	// Exact, when non-nil, replaces Raster for queries that demand exact
+	// results (Plan with exact=true).
+	Exact core.Joiner
+}
+
+// NewPlanner returns a planner over the given raster joiner.
+func NewPlanner(raster *core.RasterJoin) *Planner {
+	return &Planner{Raster: raster}
+}
+
+// AddCube registers a pre-aggregation cube.
+func (pl *Planner) AddCube(c *cube.Cube) { pl.Cubes = append(pl.Cubes, c) }
+
+// Plan resolves names against the catalog and routes the query.
+func (pl *Planner) Plan(q Query, cat Catalog) (*Plan, error) {
+	ps, ok := cat.PointSet(q.Points)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown point set %q", q.Points)
+	}
+	rs, ok := cat.RegionSet(q.Regions)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown region set %q", q.Regions)
+	}
+	req := core.Request{
+		Points:  ps,
+		Regions: rs,
+		Agg:     q.Agg,
+		Attr:    q.Attr,
+		Filters: q.Filters,
+		Time:    q.Time,
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	for _, c := range pl.Cubes {
+		if err := c.CanServe(req); err == nil {
+			return &Plan{Query: q, Request: req, Joiner: c,
+				Reason: "canned query served from pre-aggregation"}, nil
+		}
+	}
+	if pl.Raster == nil {
+		return nil, fmt.Errorf("query: no engine can serve %q", q.String())
+	}
+	reason := "ad-hoc query routed to raster join"
+	var j core.Joiner = pl.Raster
+	if pl.Exact != nil {
+		j = pl.Exact
+		reason = "exact engine override"
+	}
+	return &Plan{Query: q, Request: req, Joiner: j, Reason: reason}, nil
+}
+
+// Execution is a timed query result.
+type Execution struct {
+	Plan    *Plan
+	Result  *core.Result
+	Elapsed time.Duration
+}
+
+// Execute runs the plan and times it.
+func Execute(p *Plan) (*Execution, error) {
+	start := time.Now()
+	res, err := p.Joiner.Join(p.Request)
+	if err != nil {
+		return nil, fmt.Errorf("query: executing with %s: %w", p.Joiner.Name(), err)
+	}
+	return &Execution{Plan: p, Result: res, Elapsed: time.Since(start)}, nil
+}
+
+// Run parses, plans, and executes a statement in one step.
+func Run(stmt string, pl *Planner, cat Catalog) (*Execution, error) {
+	q, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pl.Plan(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(plan)
+}

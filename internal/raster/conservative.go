@@ -1,0 +1,157 @@
+package raster
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+)
+
+// TraceSegment visits every pixel whose box the segment ab passes through,
+// using Amanatides–Woo grid traversal. The segment is clipped to the window
+// first; segments entirely outside visit nothing. Pixels are visited once,
+// in order along the segment.
+func TraceSegment(t Transform, a, b geom.Point, visit func(px, py int)) {
+	// Shrink the clip window infinitesimally so endpoints exactly on the max
+	// edges land in the last pixel rather than out of range.
+	p0, p1, ok := geom.ClipSegmentToBBox(a, b, t.World)
+	if !ok {
+		return
+	}
+	pw, ph := t.PixelWidth(), t.PixelHeight()
+	toCell := func(p geom.Point) (int, int) {
+		x := int((p.X - t.World.MinX) / pw)
+		y := int((p.Y - t.World.MinY) / ph)
+		if x >= t.W {
+			x = t.W - 1
+		}
+		if y >= t.H {
+			y = t.H - 1
+		}
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		return x, y
+	}
+	x, y := toCell(p0)
+	xEnd, yEnd := toCell(p1)
+
+	dx := p1.X - p0.X
+	dy := p1.Y - p0.Y
+
+	stepX, stepY := 0, 0
+	tMaxX, tMaxY := math.Inf(1), math.Inf(1)
+	tDeltaX, tDeltaY := math.Inf(1), math.Inf(1)
+
+	if dx > 0 {
+		stepX = 1
+		next := t.World.MinX + float64(x+1)*pw
+		tMaxX = (next - p0.X) / dx
+		tDeltaX = pw / dx
+	} else if dx < 0 {
+		stepX = -1
+		next := t.World.MinX + float64(x)*pw
+		tMaxX = (next - p0.X) / dx
+		tDeltaX = -pw / dx
+	}
+	if dy > 0 {
+		stepY = 1
+		next := t.World.MinY + float64(y+1)*ph
+		tMaxY = (next - p0.Y) / dy
+		tDeltaY = ph / dy
+	} else if dy < 0 {
+		stepY = -1
+		next := t.World.MinY + float64(y)*ph
+		tMaxY = (next - p0.Y) / dy
+		tDeltaY = -ph / dy
+	}
+
+	// Bounded by the Manhattan cell distance plus slack for ties.
+	maxSteps := abs(xEnd-x) + abs(yEnd-y) + 2
+	visit(x, y)
+	for steps := 0; steps < maxSteps; steps++ {
+		if x == xEnd && y == yEnd {
+			return
+		}
+		if tMaxX < tMaxY {
+			x += stepX
+			tMaxX += tDeltaX
+		} else {
+			y += stepY
+			tMaxY += tDeltaY
+		}
+		if x < 0 || x >= t.W || y < 0 || y >= t.H {
+			return
+		}
+		visit(x, y)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BoundaryPixels visits every pixel crossed by any edge of the polygon
+// (outer ring and holes). A pixel may be visited more than once when
+// multiple edges cross it; callers typically mark a bitmap.
+//
+// This is the conservative pass Raster Join's accurate variant uses to
+// decide which fragments need the exact point-in-polygon test.
+func BoundaryPixels(t Transform, pg geom.Polygon, visit func(px, py int)) {
+	pg.Edges(func(a, b geom.Point) bool {
+		TraceSegment(t, a, b, visit)
+		return true
+	})
+}
+
+// Bitmap is a dense 2D bit set over a pixel grid, used to deduplicate
+// boundary-pixel visits and to classify interior vs boundary coverage.
+type Bitmap struct {
+	W, H  int
+	words []uint64
+}
+
+// NewBitmap returns a cleared W×H bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	return &Bitmap{W: w, H: h, words: make([]uint64, (w*h+63)/64)}
+}
+
+// Set marks pixel (x,y).
+func (b *Bitmap) Set(x, y int) {
+	i := y*b.W + x
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Unset clears pixel (x,y).
+func (b *Bitmap) Unset(x, y int) {
+	i := y*b.W + x
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether pixel (x,y) is marked.
+func (b *Bitmap) Get(x, y int) bool {
+	i := y*b.W + x
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Clear unmarks all pixels, retaining the allocation.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of marked pixels.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

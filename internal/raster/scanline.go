@@ -1,0 +1,104 @@
+package raster
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// FillPolygon scan-converts a polygon (outer ring and holes) onto the grid,
+// calling visit for every pixel whose center lies inside the polygon, in
+// row-major order. This is the same center-sampling coverage rule the GPU
+// rasterizer applies when Raster Join draws its polygon pass.
+//
+// Holes are handled by the even-odd rule: hole edges flip coverage exactly
+// like outer edges.
+func FillPolygon(t Transform, pg geom.Polygon, visit func(px, py int)) {
+	bb := pg.BBox().Intersect(t.World)
+	if bb.IsEmpty() {
+		return
+	}
+	ph := t.PixelHeight()
+	// Pixel rows whose centers fall inside the polygon's Y extent.
+	y0 := int((bb.MinY - t.World.MinY) / ph)
+	y1 := int((bb.MaxY - t.World.MinY) / ph)
+	if y1 >= t.H {
+		y1 = t.H - 1
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	var xs []float64
+	for py := y0; py <= y1; py++ {
+		cy := t.World.MinY + (float64(py)+0.5)*ph
+		xs = xs[:0]
+		xs = ringCrossings(pg.Outer, cy, xs)
+		for _, h := range pg.Holes {
+			xs = ringCrossings(h, cy, xs)
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sort.Float64s(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			fillSpan(t, xs[i], xs[i+1], py, visit)
+		}
+	}
+}
+
+// FillRing scan-converts a single ring with center sampling.
+func FillRing(t Transform, r geom.Ring, visit func(px, py int)) {
+	FillPolygon(t, geom.Polygon{Outer: r}, visit)
+}
+
+// FillTriangle scan-converts a triangle with center sampling. Triangles are
+// the primitive the GPU device draws; polygon draws decompose into these.
+func FillTriangle(t Transform, tr geom.Triangle, visit func(px, py int)) {
+	FillRing(t, geom.Ring{tr[0], tr[1], tr[2]}, visit)
+}
+
+// ringCrossings appends the x coordinates where the ring's edges cross the
+// horizontal line y=cy, using the half-open rule (an edge covers its lower
+// endpoint, excludes its upper) so shared vertices are counted exactly once.
+func ringCrossings(r geom.Ring, cy float64, xs []float64) []float64 {
+	n := len(r)
+	if n < 3 {
+		return xs
+	}
+	for i := 0; i < n; i++ {
+		a := r[i]
+		b := r[(i+1)%n]
+		if (a.Y > cy) == (b.Y > cy) {
+			continue
+		}
+		xs = append(xs, a.X+(cy-a.Y)*(b.X-a.X)/(b.Y-a.Y))
+	}
+	return xs
+}
+
+// fillSpan visits pixels in row py whose centers fall in [x0, x1).
+func fillSpan(t Transform, x0, x1 float64, py int, visit func(px, py int)) {
+	pw := t.PixelWidth()
+	start := firstCenterIdx(x0-t.World.MinX, pw)
+	end := firstCenterIdx(x1-t.World.MinX, pw) // exclusive
+	if start < 0 {
+		start = 0
+	}
+	if end > t.W {
+		end = t.W
+	}
+	for px := start; px < end; px++ {
+		visit(px, py)
+	}
+}
+
+// firstCenterIdx returns the index of the first pixel whose center
+// (at (idx+0.5)*size) is >= v, i.e. ceil(v/size - 0.5).
+func firstCenterIdx(v, size float64) int {
+	f := v/size - 0.5
+	i := int(f)
+	if f > float64(i) {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,220 @@
+// Package render turns query results into images: choropleth maps drawn
+// with the same scanline rasterizer the join engine uses, and density
+// rasters from the heatmap pass — the pixels Urbane's map view actually
+// shows. Everything encodes to PNG via the standard library.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/raster"
+)
+
+// Ramp maps a normalized value in [0,1] to a color.
+type Ramp func(t float64) color.RGBA
+
+// HeatRamp is a black-body style ramp: dark violet → red → orange → light
+// yellow, perceptually ordered for density maps.
+func HeatRamp(t float64) color.RGBA {
+	t = clamp01(t)
+	stops := []struct {
+		t       float64
+		r, g, b float64
+	}{
+		{0.00, 13, 8, 135},
+		{0.25, 126, 3, 168},
+		{0.50, 204, 71, 120},
+		{0.75, 248, 149, 64},
+		{1.00, 240, 249, 33},
+	}
+	for i := 1; i < len(stops); i++ {
+		if t <= stops[i].t {
+			f := (t - stops[i-1].t) / (stops[i].t - stops[i-1].t)
+			return color.RGBA{
+				R: uint8(lerp(stops[i-1].r, stops[i].r, f)),
+				G: uint8(lerp(stops[i-1].g, stops[i].g, f)),
+				B: uint8(lerp(stops[i-1].b, stops[i].b, f)),
+				A: 255,
+			}
+		}
+	}
+	return color.RGBA{R: 240, G: 249, B: 33, A: 255}
+}
+
+// DivergingRamp maps [0,1] blue → white → red, centered at 0.5 — the scale
+// for change maps where sign matters.
+func DivergingRamp(t float64) color.RGBA {
+	t = clamp01(t)
+	if t < 0.5 {
+		f := t * 2
+		return color.RGBA{
+			R: uint8(lerp(33, 247, f)),
+			G: uint8(lerp(102, 247, f)),
+			B: uint8(lerp(172, 247, f)),
+			A: 255,
+		}
+	}
+	f := (t - 0.5) * 2
+	return color.RGBA{
+		R: uint8(lerp(247, 178, f)),
+		G: uint8(lerp(247, 24, f)),
+		B: uint8(lerp(247, 43, f)),
+		A: 255,
+	}
+}
+
+// BlueRamp is a light-to-dark sequential ramp for choropleths.
+func BlueRamp(t float64) color.RGBA {
+	t = clamp01(t)
+	return color.RGBA{
+		R: uint8(lerp(247, 8, t)),
+		G: uint8(lerp(251, 48, t)),
+		B: uint8(lerp(255, 107, t)),
+		A: 255,
+	}
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 || math.IsNaN(t) {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Choropleth renders region polygons filled by their normalized values,
+// with darkened boundary pixels, using the join engine's own scanline and
+// conservative rasterizers. values[i] colors rs.Regions[i]; regions with
+// NaN values are drawn in light gray.
+func Choropleth(rs *data.RegionSet, values []float64, width int, ramp Ramp) (*image.RGBA, error) {
+	if rs.Len() == 0 {
+		return nil, fmt.Errorf("render: empty region set")
+	}
+	if len(values) != rs.Len() {
+		return nil, fmt.Errorf("render: %d values for %d regions", len(values), rs.Len())
+	}
+	if width < 16 {
+		width = 16
+	}
+	bounds := rs.Bounds()
+	if bounds.IsEmpty() || bounds.Width() == 0 {
+		return nil, fmt.Errorf("render: degenerate region bounds")
+	}
+	height := int(float64(width) * bounds.Height() / bounds.Width())
+	if height < 1 {
+		height = 1
+	}
+	tr := raster.NewTransform(bounds, width, height)
+
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	norm := func(v float64) float64 {
+		if math.IsNaN(v) || max <= min {
+			return 0
+		}
+		return (v - min) / (max - min)
+	}
+
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	bg := color.RGBA{R: 250, G: 250, B: 250, A: 255}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.SetRGBA(x, y, bg)
+		}
+	}
+	// Fill pass (image rows grow downward; flip y).
+	for k, reg := range rs.Regions {
+		var c color.RGBA
+		if math.IsNaN(values[k]) {
+			c = color.RGBA{R: 224, G: 224, B: 224, A: 255}
+		} else {
+			c = ramp(norm(values[k]))
+		}
+		raster.FillPolygon(tr, reg.Poly, func(px, py int) {
+			img.SetRGBA(px, height-1-py, c)
+		})
+	}
+	// Boundary pass: darken outline pixels.
+	line := color.RGBA{R: 60, G: 60, B: 60, A: 255}
+	for _, reg := range rs.Regions {
+		raster.BoundaryPixels(tr, reg.Poly, func(px, py int) {
+			img.SetRGBA(px, height-1-py, line)
+		})
+	}
+	return img, nil
+}
+
+// Density renders a row-major count grid (the heatmap payload) with
+// log-scaled shading. Zero cells stay transparent-black so tiles composite
+// over base maps.
+func Density(counts []float64, w, h int, ramp Ramp) (*image.RGBA, error) {
+	if len(counts) != w*h || w < 1 || h < 1 {
+		return nil, fmt.Errorf("render: %d counts for %dx%d grid", len(counts), w, h)
+	}
+	max := 0.0
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	if max == 0 {
+		return img, nil
+	}
+	logMax := math.Log1p(max)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := counts[y*w+x]
+			if v <= 0 {
+				continue
+			}
+			img.SetRGBA(x, h-1-y, ramp(math.Log1p(v)/logMax))
+		}
+	}
+	return img, nil
+}
+
+// Legend renders a horizontal color-scale bar for the ramp.
+func Legend(width, height int, ramp Ramp) *image.RGBA {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	denom := float64(width - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	for x := 0; x < width; x++ {
+		c := ramp(float64(x) / denom)
+		for y := 0; y < height; y++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+// EncodePNG writes the image as PNG.
+func EncodePNG(w io.Writer, img image.Image) error { return png.Encode(w, img) }

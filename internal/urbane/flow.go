@@ -1,0 +1,82 @@
+package urbane
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// FlowViewRequest drives the taxi-flow view: the origin-destination matrix
+// of a trip data set over a region layer, under the usual ad-hoc filters.
+// The data set must carry destination columns (data.DropoffXAttr/YAttr).
+type FlowViewRequest struct {
+	Dataset string
+	Layer   string
+	Filters []core.Filter
+	Time    *core.TimeFilter
+	// Top caps the returned edges (0 = 20).
+	Top int
+}
+
+// FlowEdge is one ranked OD pair.
+type FlowEdge struct {
+	FromID int    `json:"fromId"`
+	ToID   int    `json:"toId"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Count  int64  `json:"count"`
+}
+
+// FlowView is the flow view payload: the strongest flows plus totals.
+type FlowView struct {
+	Edges   []FlowEdge    `json:"edges"`
+	Total   int64         `json:"total"`
+	Dropped int64         `json:"dropped"`
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// FlowView computes the OD matrix with the raster flow join and returns the
+// top edges.
+func (f *Framework) FlowView(req FlowViewRequest) (*FlowView, error) {
+	ps, ok := f.PointSet(req.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("urbane: unknown point set %q", req.Dataset)
+	}
+	rs, ok := f.RegionSet(req.Layer)
+	if !ok {
+		return nil, fmt.Errorf("urbane: unknown region set %q", req.Layer)
+	}
+	creq := core.Request{
+		Points: ps, Regions: rs, Agg: core.Count,
+		Filters: req.Filters, Time: req.Time,
+	}
+	if err := creq.Validate(); err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 20
+	}
+	start := time.Now()
+	res, err := f.rasterJoiner().FlowJoin(creq, data.DropoffXAttr, data.DropoffYAttr)
+	if err != nil {
+		return nil, err
+	}
+	view := &FlowView{
+		Total:   res.Total(),
+		Dropped: res.Dropped,
+		Elapsed: time.Since(start),
+	}
+	for _, fl := range res.Top(top) {
+		view.Edges = append(view.Edges, FlowEdge{
+			FromID: rs.Regions[fl.From].ID,
+			ToID:   rs.Regions[fl.To].ID,
+			From:   rs.Regions[fl.From].Name,
+			To:     rs.Regions[fl.To].Name,
+			Count:  fl.Count,
+		})
+	}
+	return view, nil
+}

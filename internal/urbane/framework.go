@@ -1,0 +1,181 @@
+// Package urbane is the visual-analytics framework of the paper: a registry
+// of spatio-temporal data sets and polygonal layers, the map view
+// (choropleths over regions at any resolution), the data exploration view
+// (per-region time series across multiple data sets), neighborhood
+// ranking/similarity for the architect scenario, and an HTTP JSON API the
+// demo frontend talks to.
+//
+// All views are driven by spatial aggregation queries executed through the
+// query planner: canned queries hit pre-aggregation cubes, everything
+// ad-hoc runs through Raster Join at interactive speeds.
+package urbane
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// Framework is the Urbane backend. Create with New; safe for concurrent
+// use.
+type Framework struct {
+	mu      sync.RWMutex
+	points  map[string]*data.PointSet
+	regions map[string]*data.RegionSet
+	planner *query.Planner
+}
+
+// New returns a framework executing ad-hoc queries on the given raster
+// joiner (nil uses a default accurate joiner at 1024px — exact results at
+// map-view resolution).
+func New(rj *core.RasterJoin) *Framework {
+	if rj == nil {
+		rj = core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(1024))
+	}
+	return &Framework{
+		points:  make(map[string]*data.PointSet),
+		regions: make(map[string]*data.RegionSet),
+		planner: query.NewPlanner(rj),
+	}
+}
+
+// AddPointSet registers a point data set under its name.
+func (f *Framework) AddPointSet(ps *data.PointSet) error {
+	if err := ps.Validate(); err != nil {
+		return err
+	}
+	if ps.Name == "" {
+		return fmt.Errorf("urbane: point set needs a name")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.points[ps.Name]; dup {
+		return fmt.Errorf("urbane: point set %q already registered", ps.Name)
+	}
+	f.points[ps.Name] = ps
+	return nil
+}
+
+// AddRegionSet registers a polygonal layer under its name.
+func (f *Framework) AddRegionSet(rs *data.RegionSet) error {
+	if rs.Name == "" {
+		return fmt.Errorf("urbane: region set needs a name")
+	}
+	for _, r := range rs.Regions {
+		if err := r.Poly.Validate(); err != nil {
+			return fmt.Errorf("urbane: region %q: %w", r.Name, err)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.regions[rs.Name]; dup {
+		return fmt.Errorf("urbane: region set %q already registered", rs.Name)
+	}
+	f.regions[rs.Name] = rs
+	return nil
+}
+
+// BuildCube materializes a pre-aggregation cube for the named data set and
+// layer and registers it with the planner, so canned queries short-circuit
+// past the raster engine.
+func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []string) (*cube.Cube, error) {
+	ps, ok := f.PointSet(dataset)
+	if !ok {
+		return nil, fmt.Errorf("urbane: unknown point set %q", dataset)
+	}
+	rs, ok := f.RegionSet(layer)
+	if !ok {
+		return nil, fmt.Errorf("urbane: unknown region set %q", layer)
+	}
+	c, err := cube.Build(ps, cube.Config{Regions: rs, TimeBin: timeBin, Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.planner.AddCube(c)
+	f.mu.Unlock()
+	return c, nil
+}
+
+// PointSet implements query.Catalog.
+func (f *Framework) PointSet(name string) (*data.PointSet, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ps, ok := f.points[name]
+	return ps, ok
+}
+
+// RegionSet implements query.Catalog.
+func (f *Framework) RegionSet(name string) (*data.RegionSet, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	rs, ok := f.regions[name]
+	return rs, ok
+}
+
+// PointSetNames returns the registered data set names (unordered).
+func (f *Framework) PointSetNames() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.points))
+	for n := range f.points {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RegionSetNames returns the registered layer names (unordered).
+func (f *Framework) RegionSetNames() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.regions))
+	for n := range f.regions {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Query parses, plans, and executes a SQL-like statement.
+func (f *Framework) Query(stmt string) (*query.Execution, error) {
+	f.mu.RLock()
+	pl := f.planner
+	f.mu.RUnlock()
+	return query.Run(stmt, pl, f)
+}
+
+// Execute plans and runs an already-built request through the planner's
+// routing (cube when servable, raster otherwise).
+func (f *Framework) Execute(req core.Request) (*core.Result, error) {
+	f.mu.RLock()
+	pl := f.planner
+	f.mu.RUnlock()
+	for _, c := range pl.Cubes {
+		if c.CanServe(req) == nil {
+			return c.Join(req)
+		}
+	}
+	return pl.Raster.Join(req)
+}
+
+// cubeServable reports whether any registered cube can serve the request.
+func (f *Framework) cubeServable(req core.Request) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, c := range f.planner.Cubes {
+		if c.CanServe(req) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rasterJoiner returns the planner's raster engine.
+func (f *Framework) rasterJoiner() *core.RasterJoin {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.planner.Raster
+}

@@ -1,0 +1,155 @@
+package urbane
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MetricSpec is one axis of the neighborhood comparison: a spatial
+// aggregation over one data set whose per-region values become a feature.
+// The paper's architect scenario compares a candidate neighborhood against
+// the rest of the city along several such metrics.
+type MetricSpec struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Agg     core.Agg
+	Attr    string
+	Filters []core.Filter
+	Time    *core.TimeFilter
+}
+
+// RegionScore is one region's similarity result: its distance to the target
+// in normalized feature space (smaller = more similar) and its raw metric
+// values.
+type RegionScore struct {
+	ID       int       `json:"id"`
+	Name     string    `json:"name"`
+	Distance float64   `json:"distance"`
+	Values   []float64 `json:"values"`
+}
+
+// RankSimilar computes each metric over the layer, z-normalizes the
+// per-region feature matrix, and ranks all regions by euclidean distance to
+// the target region's feature vector (most similar first, target excluded).
+func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec) ([]RegionScore, error) {
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("urbane: ranking needs at least one metric")
+	}
+	rs, ok := f.RegionSet(layer)
+	if !ok {
+		return nil, fmt.Errorf("urbane: unknown region set %q", layer)
+	}
+	targetIdx := -1
+	for i, r := range rs.Regions {
+		if r.ID == targetID {
+			targetIdx = i
+			break
+		}
+	}
+	if targetIdx == -1 {
+		return nil, fmt.Errorf("urbane: region id %d not in layer %q", targetID, layer)
+	}
+
+	n := rs.Len()
+	features := make([][]float64, n)
+	for i := range features {
+		features[i] = make([]float64, len(metrics))
+	}
+
+	// Group metrics by data set so each group shares one multi-aggregate
+	// render (one point pass, one polygon pass for all of a data set's
+	// metrics). Cube-servable metrics take the cube instead.
+	groups := make(map[string][]int)
+	for m, spec := range metrics {
+		ps, ok := f.PointSet(spec.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("urbane: metric %q: unknown point set %q", spec.Name, spec.Dataset)
+		}
+		creq := core.Request{
+			Points: ps, Regions: rs,
+			Agg: spec.Agg, Attr: spec.Attr,
+			Filters: spec.Filters, Time: spec.Time,
+		}
+		if err := creq.Validate(); err != nil {
+			return nil, fmt.Errorf("urbane: metric %q: %w", spec.Name, err)
+		}
+		if f.cubeServable(creq) {
+			res, err := f.Execute(creq)
+			if err != nil {
+				return nil, fmt.Errorf("urbane: metric %q: %w", spec.Name, err)
+			}
+			for k := 0; k < n; k++ {
+				features[k][m] = res.Value(k, spec.Agg)
+			}
+			continue
+		}
+		groups[spec.Dataset] = append(groups[spec.Dataset], m)
+	}
+	for dataset, idxs := range groups {
+		ps, _ := f.PointSet(dataset)
+		specs := make([]core.AggSpec, len(idxs))
+		for j, m := range idxs {
+			specs[j] = core.AggSpec{
+				Agg:     metrics[m].Agg,
+				Attr:    metrics[m].Attr,
+				Filters: metrics[m].Filters,
+				Time:    metrics[m].Time,
+			}
+		}
+		results, err := f.rasterJoiner().MultiJoin(
+			core.Request{Points: ps, Regions: rs}, specs)
+		if err != nil {
+			return nil, fmt.Errorf("urbane: metrics over %q: %w", dataset, err)
+		}
+		for j, m := range idxs {
+			for k := 0; k < n; k++ {
+				features[k][m] = results[j].Value(k, metrics[m].Agg)
+			}
+		}
+	}
+
+	// Z-normalize each metric column so no single scale dominates.
+	for m := range metrics {
+		var mean float64
+		for k := 0; k < n; k++ {
+			mean += features[k][m]
+		}
+		mean /= float64(n)
+		var varsum float64
+		for k := 0; k < n; k++ {
+			d := features[k][m] - mean
+			varsum += d * d
+		}
+		std := math.Sqrt(varsum / float64(n))
+		if std == 0 {
+			std = 1
+		}
+		for k := 0; k < n; k++ {
+			features[k][m] = (features[k][m] - mean) / std
+		}
+	}
+
+	target := features[targetIdx]
+	scores := make([]RegionScore, 0, n-1)
+	for k := 0; k < n; k++ {
+		if k == targetIdx {
+			continue
+		}
+		var d2 float64
+		for m := range metrics {
+			d := features[k][m] - target[m]
+			d2 += d * d
+		}
+		scores = append(scores, RegionScore{
+			ID:       rs.Regions[k].ID,
+			Name:     rs.Regions[k].Name,
+			Distance: math.Sqrt(d2),
+			Values:   append([]float64(nil), features[k]...),
+		})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].Distance < scores[j].Distance })
+	return scores, nil
+}

@@ -1,0 +1,371 @@
+package urbane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// Server exposes the framework over the JSON API the demo frontend speaks.
+type Server struct {
+	f   *Framework
+	mux *http.ServeMux
+}
+
+// NewServer wraps a framework.
+func NewServer(f *Framework) *Server {
+	s := &Server{f: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/mapview", s.handleMapView)
+	s.mux.HandleFunc("/api/explore", s.handleExplore)
+	s.mux.HandleFunc("/api/rank", s.handleRank)
+	s.mux.HandleFunc("/api/heatmap", s.handleHeatmap)
+	s.mux.HandleFunc("/api/regions", s.handleRegions)
+	s.mux.HandleFunc("/api/flows", s.handleFlows)
+	s.mux.HandleFunc("/api/delta", s.handleDelta)
+	s.mux.HandleFunc("/api/render/choropleth.png", s.handleChoroplethPNG)
+	s.mux.HandleFunc("/api/tile/", s.handleTile)
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	points := s.f.PointSetNames()
+	layers := s.f.RegionSetNames()
+	sort.Strings(points)
+	sort.Strings(layers)
+	writeJSON(w, http.StatusOK, map[string][]string{"points": points, "layers": layers})
+}
+
+type queryRequest struct {
+	Stmt string `json:"stmt"`
+}
+
+type queryResponse struct {
+	Algorithm string        `json:"algorithm"`
+	Reason    string        `json:"reason"`
+	ElapsedMS float64       `json:"elapsedMs"`
+	Rows      []RegionValue `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	exec, err := s.f.Query(req.Stmt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rs := exec.Plan.Request.Regions
+	rows := make([]RegionValue, len(exec.Result.Stats))
+	for k, reg := range rs.Regions {
+		rows[k] = RegionValue{ID: reg.ID, Name: reg.Name,
+			Value: exec.Result.Value(k, exec.Plan.Request.Agg)}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Algorithm: exec.Result.Algorithm,
+		Reason:    exec.Plan.Reason,
+		ElapsedMS: float64(exec.Elapsed) / float64(time.Millisecond),
+		Rows:      rows,
+	})
+}
+
+// Wire DTOs: aggregates travel as strings, time filters as {start,end}.
+type wireFilter struct {
+	Attr string  `json:"attr"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type wireTime struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+func parseAgg(s string) (core.Agg, error) {
+	switch strings.ToUpper(s) {
+	case "", "COUNT":
+		return core.Count, nil
+	case "SUM":
+		return core.Sum, nil
+	case "AVG":
+		return core.Avg, nil
+	case "MIN":
+		return core.Min, nil
+	case "MAX":
+		return core.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", s)
+	}
+}
+
+func toFilters(ws []wireFilter) []core.Filter {
+	out := make([]core.Filter, len(ws))
+	for i, f := range ws {
+		out[i] = core.Filter{Attr: f.Attr, Min: f.Min, Max: f.Max}
+	}
+	return out
+}
+
+type mapViewWire struct {
+	Dataset string       `json:"dataset"`
+	Layer   string       `json:"layer"`
+	Agg     string       `json:"agg"`
+	Attr    string       `json:"attr"`
+	Filters []wireFilter `json:"filters"`
+	Time    *wireTime    `json:"time"`
+}
+
+func (s *Server) handleMapView(w http.ResponseWriter, r *http.Request) {
+	var wreq mapViewWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	agg, err := parseAgg(wreq.Agg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := MapViewRequest{
+		Dataset: wreq.Dataset, Layer: wreq.Layer,
+		Agg: agg, Attr: wreq.Attr, Filters: toFilters(wreq.Filters),
+	}
+	if wreq.Time != nil {
+		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
+	}
+	ch, err := s.f.MapView(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ch)
+}
+
+type exploreWire struct {
+	Datasets  []string     `json:"datasets"`
+	Layer     string       `json:"layer"`
+	Agg       string       `json:"agg"`
+	Attr      string       `json:"attr"`
+	RegionIDs []int        `json:"regionIds"`
+	Start     int64        `json:"start"`
+	End       int64        `json:"end"`
+	Bins      int          `json:"bins"`
+	Filters   []wireFilter `json:"filters"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var wreq exploreWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	agg, err := parseAgg(wreq.Agg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ex, err := s.f.Explore(ExplorationRequest{
+		Datasets: wreq.Datasets, Layer: wreq.Layer,
+		Agg: agg, Attr: wreq.Attr,
+		RegionIDs: wreq.RegionIDs,
+		Start:     wreq.Start, End: wreq.End, Bins: wreq.Bins,
+		Filters: toFilters(wreq.Filters),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+type rankWire struct {
+	Layer    string `json:"layer"`
+	TargetID int    `json:"targetId"`
+	Metrics  []struct {
+		Name    string       `json:"name"`
+		Dataset string       `json:"dataset"`
+		Agg     string       `json:"agg"`
+		Attr    string       `json:"attr"`
+		Filters []wireFilter `json:"filters"`
+		Time    *wireTime    `json:"time"`
+	} `json:"metrics"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var wreq rankWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	metrics := make([]MetricSpec, len(wreq.Metrics))
+	for i, m := range wreq.Metrics {
+		agg, err := parseAgg(m.Agg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		metrics[i] = MetricSpec{
+			Name: m.Name, Dataset: m.Dataset,
+			Agg: agg, Attr: m.Attr, Filters: toFilters(m.Filters),
+		}
+		if m.Time != nil {
+			metrics[i].Time = &core.TimeFilter{Start: m.Time.Start, End: m.Time.End}
+		}
+	}
+	scores, err := s.f.RankSimilar(wreq.Layer, wreq.TargetID, metrics)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scores)
+}
+
+type deltaWire struct {
+	Dataset string       `json:"dataset"`
+	Layer   string       `json:"layer"`
+	Agg     string       `json:"agg"`
+	Attr    string       `json:"attr"`
+	Filters []wireFilter `json:"filters"`
+	A       wireTime     `json:"a"`
+	B       wireTime     `json:"b"`
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var wreq deltaWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	agg, err := parseAgg(wreq.Agg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.f.Delta(DeltaRequest{
+		Dataset: wreq.Dataset, Layer: wreq.Layer,
+		Agg: agg, Attr: wreq.Attr, Filters: toFilters(wreq.Filters),
+		A: core.TimeFilter{Start: wreq.A.Start, End: wreq.A.End},
+		B: core.TimeFilter{Start: wreq.B.Start, End: wreq.B.End},
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+type heatmapWire struct {
+	Dataset string       `json:"dataset"`
+	W       int          `json:"w"`
+	H       int          `json:"h"`
+	Weight  string       `json:"weight"`
+	Filters []wireFilter `json:"filters"`
+	Time    *wireTime    `json:"time"`
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	var wreq heatmapWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	req := HeatmapRequest{
+		Dataset: wreq.Dataset, W: wreq.W, H: wreq.H,
+		Weight: wreq.Weight, Filters: toFilters(wreq.Filters),
+	}
+	if wreq.Time != nil {
+		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
+	}
+	hm, err := s.f.Heatmap(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hm)
+}
+
+type flowWire struct {
+	Dataset string       `json:"dataset"`
+	Layer   string       `json:"layer"`
+	Filters []wireFilter `json:"filters"`
+	Time    *wireTime    `json:"time"`
+	Top     int          `json:"top"`
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	var wreq flowWire
+	if !decodePost(w, r, &wreq) {
+		return
+	}
+	req := FlowViewRequest{
+		Dataset: wreq.Dataset, Layer: wreq.Layer,
+		Filters: toFilters(wreq.Filters), Top: wreq.Top,
+	}
+	if wreq.Time != nil {
+		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
+	}
+	view, err := s.f.FlowView(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleRegions serves a layer's polygons as GeoJSON so frontends can draw
+// the choropleth geometry: GET /api/regions?layer=neighborhoods.
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	name := r.URL.Query().Get("layer")
+	rs, ok := s.f.RegionSet(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region set %q", name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := data.WriteGeoJSON(w, rs); err != nil {
+		// Headers already sent; nothing more we can do but log-by-status.
+		return
+	}
+}
+
+// decodePost decodes a JSON POST body into dst, writing the error response
+// itself when the request is malformed.
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package urbane
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Server, *Framework) {
+	t.Helper()
+	f, _, _ := buildTestFramework(t)
+	return NewServer(f), f
+}
+
+func doJSON(t *testing.T, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := doJSON(t, s, http.MethodGet, "/api/datasets", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var got map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got["points"]) != 2 || len(got["layers"]) != 2 {
+		t.Errorf("datasets = %v", got)
+	}
+	// Wrong method.
+	rec = doJSON(t, s, http.MethodPost, "/api/datasets", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/datasets status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := doJSON(t, s, http.MethodPost, "/api/query",
+		map[string]string{"stmt": "SELECT COUNT(*) FROM taxi, nbhd GROUP BY id"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var got queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 12 || got.Algorithm == "" || got.ElapsedMS <= 0 {
+		t.Errorf("response = %+v", got)
+	}
+	// Parse errors surface as 400 with a message.
+	rec = doJSON(t, s, http.MethodPost, "/api/query", map[string]string{"stmt": "SELECT nonsense"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad stmt status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Errorf("bad stmt body = %s", rec.Body)
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/api/query", strings.NewReader("{"))
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", rec2.Code)
+	}
+	// GET not allowed.
+	rec = doJSON(t, s, http.MethodGet, "/api/query", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+}
+
+func TestMapViewEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	body := map[string]any{
+		"dataset": "taxi", "layer": "nbhd", "agg": "avg", "attr": "fare",
+		"filters": []map[string]any{{"attr": "fare", "min": 5, "max": 30}},
+		"time":    map[string]int64{"start": 0, "end": 4 * 3600},
+	}
+	rec := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var ch Choropleth
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Values) != 12 {
+		t.Errorf("values = %d", len(ch.Values))
+	}
+	// Unknown aggregate.
+	body["agg"] = "median"
+	rec = doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown agg status = %d", rec.Code)
+	}
+	// Unknown dataset.
+	body["agg"] = "count"
+	body["dataset"] = "nope"
+	rec = doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown dataset status = %d", rec.Code)
+	}
+}
+
+func TestExploreEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	body := map[string]any{
+		"datasets": []string{"taxi", "311"},
+		"layer":    "nbhd",
+		"agg":      "count",
+		"start":    0, "end": 8 * 3600, "bins": 4,
+		"regionIds": []int{0, 1},
+	}
+	rec := doJSON(t, s, http.MethodPost, "/api/explore", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var ex Exploration
+	if err := json.Unmarshal(rec.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Series) != 4 || len(ex.BinStarts) != 4 {
+		t.Errorf("series=%d bins=%d", len(ex.Series), len(ex.BinStarts))
+	}
+	// Bad request.
+	body["bins"] = 0
+	rec = doJSON(t, s, http.MethodPost, "/api/explore", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("zero bins status = %d", rec.Code)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	body := map[string]any{
+		"layer":    "nbhd",
+		"targetId": 2,
+		"metrics": []map[string]any{
+			{"name": "activity", "dataset": "taxi", "agg": "count"},
+			{"name": "fare", "dataset": "taxi", "agg": "avg", "attr": "fare"},
+		},
+	}
+	rec := doJSON(t, s, http.MethodPost, "/api/rank", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var scores []RegionScore
+	if err := json.Unmarshal(rec.Body.Bytes(), &scores); err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 11 {
+		t.Errorf("scores = %d, want 11", len(scores))
+	}
+	// Bad metric agg.
+	body["metrics"] = []map[string]any{{"name": "x", "dataset": "taxi", "agg": "mode"}}
+	rec = doJSON(t, s, http.MethodPost, "/api/rank", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad agg status = %d", rec.Code)
+	}
+	// Unknown target.
+	body["metrics"] = []map[string]any{{"name": "x", "dataset": "taxi", "agg": "count"}}
+	body["targetId"] = 999
+	rec = doJSON(t, s, http.MethodPost, "/api/rank", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown target status = %d", rec.Code)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := testServer(t)
+	rec := doJSON(t, s, http.MethodGet, "/", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Urbane", "/api/mapview", "/api/regions"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+	// Unknown paths 404 rather than serving the index.
+	if rec := doJSON(t, s, http.MethodGet, "/nope", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	s, _ := testServer(t)
+	rec := doJSON(t, s, http.MethodPost, "/api/mapview",
+		map[string]any{"dataset": "taxi", "layer": "nbhd", "bogus": 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,127 @@
+package urbane
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mercator"
+	"repro/internal/render"
+)
+
+// RenderChoropleth runs the map view and rasterizes it to an image-ready
+// value slice (one per region, NaN-free). It returns the region values in
+// layer order plus the region set, for callers composing their own images;
+// HTTP clients use the /api/render/choropleth.png endpoint instead.
+func (f *Framework) RenderChoropleth(req MapViewRequest, width int) ([]byte, error) {
+	ch, err := f.MapView(req)
+	if err != nil {
+		return nil, err
+	}
+	rs, _ := f.RegionSet(req.Layer)
+	values := make([]float64, len(ch.Values))
+	for i, v := range ch.Values {
+		values[i] = v.Value
+	}
+	img, err := render.Choropleth(rs, values, width, render.BlueRamp)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := render.EncodePNG(&buf, img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// handleChoroplethPNG renders the map view directly to a PNG:
+//
+//	GET /api/render/choropleth.png?dataset=taxi&layer=neighborhoods
+//	    &agg=count[&attr=fare][&w=800]
+func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	agg, err := parseAgg(q.Get("agg"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	width := 800
+	if ws := q.Get("w"); ws != "" {
+		if width, err = strconv.Atoi(ws); err != nil || width < 16 || width > 4096 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad width %q", ws))
+			return
+		}
+	}
+	png, err := s.f.RenderChoropleth(MapViewRequest{
+		Dataset: q.Get("dataset"), Layer: q.Get("layer"),
+		Agg: agg, Attr: q.Get("attr"),
+	}, width)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	_, _ = w.Write(png)
+}
+
+// handleTile serves slippy-map density tiles:
+//
+//	GET /api/tile/{z}/{x}/{y}.png?dataset=taxi
+//
+// Each tile renders the data set's point density over the tile's mercator
+// extent at 256x256 — composable over any web base map.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/tile/")
+	rest = strings.TrimSuffix(rest, ".png")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("want /api/tile/{z}/{x}/{y}.png"))
+		return
+	}
+	z, err1 := strconv.Atoi(parts[0])
+	x, err2 := strconv.Atoi(parts[1])
+	y, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || z < 0 || z > 24 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tile address %q", rest))
+		return
+	}
+	tile := mercator.Tile{Z: z, X: x, Y: y}
+	hm, err := s.f.Heatmap(HeatmapRequest{
+		Dataset: r.URL.Query().Get("dataset"),
+		W:       256, H: 256,
+		Bounds: tile.BBox(),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	img, err := render.Density(hm.Counts, hm.W, hm.H, render.HeatRamp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	_ = render.EncodePNG(w, img)
+}
+
+// TileDensity returns the density counts for one slippy tile — the
+// programmatic form of the tile endpoint.
+func (f *Framework) TileDensity(dataset string, tile mercator.Tile, filters []core.Filter) (*Heatmap, error) {
+	return f.Heatmap(HeatmapRequest{
+		Dataset: dataset,
+		W:       256, H: 256,
+		Bounds:  tile.BBox(),
+		Filters: filters,
+	})
+}

@@ -1,0 +1,146 @@
+package urbane
+
+import "net/http"
+
+// handleIndex serves the embedded single-file demo frontend: a canvas map
+// that fetches the region layer, runs map-view queries with ad-hoc filters,
+// and paints the choropleth — the interaction loop demo visitors drive.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Urbane — interactive spatial aggregation</title>
+<style>
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 0; display: flex; height: 100vh; }
+  #panel { width: 320px; padding: 16px; border-right: 1px solid #ddd; overflow-y: auto; }
+  #map { flex: 1; }
+  h1 { font-size: 16px; margin: 0 0 12px; }
+  label { display: block; margin: 10px 0 2px; color: #555; font-size: 12px; }
+  select, input, button { width: 100%; box-sizing: border-box; padding: 6px; }
+  button { margin-top: 12px; background: #1a66ff; color: white; border: 0;
+           border-radius: 4px; padding: 8px; cursor: pointer; }
+  #status { margin-top: 12px; font-size: 12px; color: #333; white-space: pre-wrap; }
+  .legend { display: flex; margin-top: 8px; height: 10px; }
+  .legend div { flex: 1; }
+</style>
+</head>
+<body>
+<div id="panel">
+  <h1>Urbane <small style="color:#888">· Raster Join demo</small></h1>
+  <label>Data set</label><select id="dataset"></select>
+  <label>Region layer</label><select id="layer"></select>
+  <label>Aggregate</label>
+  <select id="agg">
+    <option value="count">COUNT(*)</option>
+    <option value="avg">AVG(attr)</option>
+    <option value="sum">SUM(attr)</option>
+  </select>
+  <label>Attribute (for AVG/SUM and filter)</label><input id="attr" placeholder="fare">
+  <label>Filter: attr between</label>
+  <div style="display:flex;gap:6px">
+    <input id="fmin" placeholder="min" style="flex:1">
+    <input id="fmax" placeholder="max" style="flex:1">
+  </div>
+  <button id="run">Run spatial aggregation</button>
+  <div class="legend" id="legend"></div>
+  <div id="status">loading…</div>
+</div>
+<canvas id="map"></canvas>
+<script>
+const $ = id => document.getElementById(id);
+let regions = null, bounds = null;
+
+function ramp(t) { // light yellow -> dark red
+  const r = Math.round(255 - 80*t), g = Math.round(237 - 200*t), b = Math.round(160 - 120*t);
+  return 'rgb(' + r + ',' + g + ',' + b + ')';
+}
+
+async function init() {
+  const ds = await (await fetch('/api/datasets')).json();
+  for (const p of ds.points) $('dataset').add(new Option(p, p));
+  for (const l of ds.layers) $('layer').add(new Option(l, l));
+  $('layer').value = ds.layers.includes('neighborhoods') ? 'neighborhoods' : ds.layers[0];
+  const lg = $('legend');
+  for (let i = 0; i < 12; i++) {
+    const d = document.createElement('div');
+    d.style.background = ramp(i/11);
+    lg.appendChild(d);
+  }
+  await loadLayer();
+  $('status').textContent = 'ready — hit Run';
+}
+
+async function loadLayer() {
+  const resp = await fetch('/api/regions?layer=' + encodeURIComponent($('layer').value));
+  const gj = await resp.json();
+  regions = gj.features;
+  bounds = [Infinity, Infinity, -Infinity, -Infinity];
+  for (const f of regions)
+    for (const ring of f.geometry.coordinates)
+      for (const [x, y] of ring) {
+        bounds[0] = Math.min(bounds[0], x); bounds[1] = Math.min(bounds[1], y);
+        bounds[2] = Math.max(bounds[2], x); bounds[3] = Math.max(bounds[3], y);
+      }
+  draw({});
+}
+
+function draw(valueByID, min, max) {
+  const cv = $('map');
+  cv.width = cv.clientWidth; cv.height = cv.clientHeight;
+  const ctx = cv.getContext('2d');
+  const sx = cv.width / (bounds[2]-bounds[0]), sy = cv.height / (bounds[3]-bounds[1]);
+  const s = Math.min(sx, sy) * 0.96;
+  const px = x => (x - bounds[0]) * s + 8;
+  const py = y => cv.height - ((y - bounds[1]) * s + 8);
+  for (const f of regions) {
+    ctx.beginPath();
+    for (const ring of f.geometry.coordinates) {
+      ring.forEach(([x, y], i) => i ? ctx.lineTo(px(x), py(y)) : ctx.moveTo(px(x), py(y)));
+      ctx.closePath();
+    }
+    const v = valueByID[f.properties.id];
+    ctx.fillStyle = v === undefined ? '#f2f2f2'
+      : ramp(max > min ? (v - min) / (max - min) : 0);
+    ctx.fill('evenodd');
+    ctx.strokeStyle = '#999'; ctx.lineWidth = 0.5; ctx.stroke();
+  }
+}
+
+async function run() {
+  const body = {
+    dataset: $('dataset').value, layer: $('layer').value,
+    agg: $('agg').value, attr: $('attr').value || undefined, filters: []
+  };
+  if ($('fmin').value && $('fmax').value && $('attr').value)
+    body.filters.push({ attr: $('attr').value,
+      min: parseFloat($('fmin').value), max: parseFloat($('fmax').value) });
+  const t0 = performance.now();
+  const resp = await fetch('/api/mapview', { method: 'POST', body: JSON.stringify(body) });
+  const ch = await resp.json();
+  if (ch.error) { $('status').textContent = 'error: ' + ch.error; return; }
+  const vals = {};
+  for (const v of ch.values) vals[v.id] = v.value;
+  draw(vals, ch.min, ch.max);
+  $('status').textContent =
+    'algorithm: ' + ch.algorithm + '\n' +
+    'round trip: ' + (performance.now() - t0).toFixed(0) + ' ms\n' +
+    'range: ' + ch.min.toFixed(1) + ' … ' + ch.max.toFixed(1);
+}
+
+$('run').onclick = run;
+$('layer').onchange = loadLayer;
+window.onresize = () => draw({});
+init();
+</script>
+</body>
+</html>
+`
