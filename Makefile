@@ -1,0 +1,33 @@
+# Tier-1 verify is `make verify`: build, vet, lint, test.
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint bench fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific static analysis (see README "Static analysis & CI").
+lint:
+	$(GO) run ./cmd/urbane-lint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Short-budget fuzzing of the input decoders and the query parser; go test
+# accepts one -fuzz target per invocation.
+fuzz:
+	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadGeoJSON$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+
+verify: build vet lint test

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/data"
+	"repro/internal/fsum"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/urbane"
@@ -87,11 +88,11 @@ func runE1(scale float64) {
 			})
 			must(err)
 		})
-		var total float64
+		var total fsum.Kahan
 		for _, v := range ch.Values {
-			total += v.Value
+			total.Add(v.Value)
 		}
-		t.row(w.name, lat, ch.Algorithm, int64(total))
+		t.row(w.name, lat, ch.Algorithm, int64(total.Sum()))
 		last = ch
 	}
 	t.flush()

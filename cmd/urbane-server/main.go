@@ -13,13 +13,22 @@
 //	POST /api/mapview   — choropleth for the map view
 //	POST /api/explore   — multi-data-set time series
 //	POST /api/rank      — neighborhood similarity ranking
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests (up to a 10s grace period), and exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -29,13 +38,28 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	points := flag.Int("points", 1_000_000, "taxi points to generate")
-	seed := flag.Int64("seed", 2009, "generator seed")
-	buildCube := flag.Bool("cube", false, "materialize a daily pre-aggregation cube for taxi x neighborhoods")
-	resolution := flag.Int("resolution", 1024, "raster join canvas resolution (longest side, pixels)")
-	accurate := flag.Bool("accurate", true, "use the exact hybrid raster join")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds the workload and serves the API until ctx is cancelled, then
+// shuts down gracefully. ready, when non-nil, receives the bound listen
+// address once the server accepts connections. wrap, when non-nil, wraps
+// the handler — the shutdown test uses it to hold a request in flight.
+func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(http.Handler) http.Handler) error {
+	fs := flag.NewFlagSet("urbane-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	points := fs.Int("points", 1_000_000, "taxi points to generate")
+	seed := fs.Int64("seed", 2009, "generator seed")
+	buildCube := fs.Bool("cube", false, "materialize a daily pre-aggregation cube for taxi x neighborhoods")
+	resolution := fs.Int("resolution", 1024, "raster join canvas resolution (longest side, pixels)")
+	accurate := fs.Bool("accurate", true, "use the exact hybrid raster join")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	log.Printf("generating NYC workload: %d taxi points...", *points)
 	start := time.Now()
@@ -51,28 +75,62 @@ func main() {
 		mode = core.Accurate
 	}
 	f := urbane.New(core.NewRasterJoin(core.WithMode(mode), core.WithResolution(*resolution)))
-	must := func(err error) {
+	for _, err := range []error{
+		f.AddPointSet(scene.Taxi),
+		f.AddPointSet(aux[0]),
+		f.AddPointSet(aux[1]),
+		f.AddRegionSet(scene.Neighborhoods),
+		f.AddRegionSet(scene.Tracts),
+		f.AddRegionSet(scene.Grid),
+	} {
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	must(f.AddPointSet(scene.Taxi))
-	for _, ps := range aux {
-		must(f.AddPointSet(ps))
-	}
-	must(f.AddRegionSet(scene.Neighborhoods))
-	must(f.AddRegionSet(scene.Tracts))
-	must(f.AddRegionSet(scene.Grid))
 
 	if *buildCube {
 		log.Printf("building daily pre-aggregation cube (taxi x neighborhoods)...")
 		start = time.Now()
 		c, err := f.BuildCube("taxi", "neighborhoods", 86400, []string{"fare"})
-		must(err)
+		if err != nil {
+			return err
+		}
 		log.Printf("cube: %d cells in %v", c.MemoryCells(), time.Since(start).Round(time.Millisecond))
 	}
 
-	log.Printf("urbane backend listening on %s", *addr)
-	fmt.Printf("try: curl -s localhost%s/api/datasets\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, urbane.NewServer(f)))
+	var handler http.Handler = urbane.NewServer(f)
+	if wrap != nil {
+		handler = wrap(handler)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("urbane backend listening on %s", ln.Addr())
+	fmt.Printf("try: curl -s http://%s/api/datasets\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	srv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown requested; draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsum"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -116,14 +117,15 @@ func view(f *urbane.Framework, label string, req urbane.MapViewRequest) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var total float64
+	var totalAcc fsum.Kahan
 	hot := 0
 	for i, v := range ch.Values {
-		total += v.Value
+		totalAcc.Add(v.Value)
 		if v.Value == ch.Max {
 			hot = i
 		}
 	}
+	total := totalAcc.Sum()
 	interactive := "interactive"
 	if ch.Elapsed > 500*time.Millisecond {
 		interactive = "TOO SLOW"

@@ -1,0 +1,12 @@
+package floataccum_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floataccum"
+)
+
+func TestFloatAccum(t *testing.T) {
+	analysistest.Run(t, floataccum.Analyzer, "a")
+}

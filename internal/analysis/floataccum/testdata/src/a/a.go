@@ -1,0 +1,60 @@
+// Fixture: naive float reductions that floataccum must flag.
+package a
+
+type stat struct {
+	Count int64
+	Sum   float64
+}
+
+func naiveSum(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v // want "naive float accumulation into \"sum\""
+	}
+	return sum
+}
+
+func naiveIndexed(xs []float64) float64 {
+	var total float64
+	for i := 0; i < len(xs); i++ {
+		total += xs[i] * 0.5 // want "naive float accumulation into \"total\""
+	}
+	return total
+}
+
+func fieldAccum(xs []float64) stat {
+	var s stat
+	for _, v := range xs {
+		s.Count++
+		s.Sum += v // want "naive float accumulation into \"s\""
+	}
+	return s
+}
+
+func sliceCellAccum(xs []float64, bins []float64, binOf func(float64) int) {
+	for _, v := range xs {
+		bins[binOf(v)] += v // want "naive float accumulation into \"bins\""
+	}
+}
+
+// An accumulator that outlives the innermost loop is a reduction even when
+// it is itself declared inside an outer loop.
+func nestedRowSum(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		rowSum := 0.0
+		for _, v := range row {
+			rowSum += v // want "naive float accumulation into \"rowSum\""
+		}
+		out = append(out, rowSum)
+	}
+	return out
+}
+
+func subtraction(xs []float64) float64 {
+	residual := 1.0
+	for _, v := range xs {
+		residual -= v * v // want "naive float accumulation into \"residual\""
+	}
+	return residual
+}

@@ -1,0 +1,57 @@
+// Fixture: float arithmetic that is NOT a reduction — none of these may be
+// flagged.
+package a
+
+// Loop-invariant stepping (DDA/grid traversal): x advances by a constant
+// step; there is nothing to compensate.
+func ddaTraversal(x0, dx float64, n int) float64 {
+	x := x0
+	for i := 0; i < n; i++ {
+		x += dx
+		visit(x)
+	}
+	return x
+}
+
+func visit(float64) {}
+
+// Integer accumulators are exact.
+func intCount(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Loop-local temporary inside the same loop that binds it: v's loop also
+// declares acc, so acc does not outlive the loop and nothing accumulates
+// across iterations.
+func loopLocalSameLoop(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		acc := row[0] * 0.5
+		acc += float64(len(row))
+		out = append(out, acc)
+	}
+	return out
+}
+
+// Constant increment: no loop-varying term.
+func constantStep(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0
+	}
+	return total
+}
+
+// Audited hot path: suppressed with a reason.
+func suppressedHotPath(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		//lint:ignore floataccum per-pixel hot loop, magnitudes bounded by texture range
+		sum += v
+	}
+	return sum
+}

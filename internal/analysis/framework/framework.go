@@ -1,0 +1,115 @@
+// Package framework is a self-contained miniature of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The x/tools module is deliberately not a dependency — this repo builds
+// offline with the standard library only — so the subset implemented here
+// is exactly what the urbane-lint analyzers need: syntax + full type
+// information, position-tagged diagnostics, and //lint:ignore suppression
+// (see ignore.go).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Name must be a single lower-case
+// word; it is how diagnostics are attributed and how //lint:ignore
+// directives address the check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Position, p.diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// RunAnalyzer executes a on one package and returns its diagnostics with
+// //lint:ignore suppressions already filtered out.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	ig := BuildIgnores(fset, files)
+	var keep []Diagnostic
+	for _, d := range pass.Diagnostics() {
+		if ig.Ignored(d.Position, a.Name) {
+			continue
+		}
+		keep = append(keep, d)
+	}
+	return keep, nil
+}

@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directive, staticcheck-flavoured:
+//
+//	//lint:ignore <name>[,<name>...] reason
+//
+// The directive suppresses the named analyzers (or every analyzer, for the
+// name "all") on the directive's own line and on the line that follows it,
+// so both of these work:
+//
+//	hm.Total += v //lint:ignore floataccum bounded error, hot path
+//
+//	//lint:ignore floataccum bounded error, hot path
+//	hm.Total += v
+//
+// A reason is mandatory; a bare //lint:ignore name is not honoured, which
+// keeps every suppression in the tree self-documenting.
+
+// Ignores maps file:line to the set of suppressed analyzer names.
+type Ignores struct {
+	byLine map[string]map[int]map[string]bool // filename -> line -> names
+}
+
+// Ignored reports whether analyzer name is suppressed at pos.
+func (ig *Ignores) Ignored(pos token.Position, name string) bool {
+	if ig == nil || ig.byLine == nil {
+		return false
+	}
+	lines := ig.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[pos.Line]
+	if names == nil {
+		return false
+	}
+	return names[name] || names["all"]
+}
+
+// BuildIgnores scans every comment in files for //lint:ignore directives.
+func BuildIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, line := range []int{p.Line, p.Line + 1} {
+					ig.add(p.Filename, line, names)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *Ignores) add(file string, line int, names []string) {
+	lines := ig.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ig.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+func parseIgnore(text string) ([]string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		// no reason given: directive is ignored on purpose
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}

@@ -1,0 +1,191 @@
+// Package handlerlock flags HTTP handlers that touch mutex-guarded state
+// directly. The urbane server's Framework fields are mutated at runtime
+// (AddPointSet/BuildCube) under a sync.RWMutex; a handler doing
+//
+//	func (s *Server) handleX(w http.ResponseWriter, r *http.Request) {
+//		ps := s.f.points[name] // BAD: bypasses f.mu
+//	}
+//
+// races with registration. The check: inside any function with the
+// (http.ResponseWriter, *http.Request) handler signature, a direct field
+// access on a struct that also carries a sync.Mutex/RWMutex field is
+// reported — unless the handler takes a lock itself (any Lock/RLock call
+// in its body switches the check off for that handler, on the assumption
+// that locking there was designed). Method calls are always fine: the
+// accessor is expected to lock internally.
+package handlerlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the handlerlock check.
+var Analyzer = &framework.Analyzer{
+	Name: "handlerlock",
+	Doc:  "flags HTTP handlers reading mutex-guarded struct fields without holding the lock",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerSig(pass, fn.Type) {
+					checkHandler(pass, fn.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if isHandlerSig(pass, fn.Type) {
+					checkHandler(pass, fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHandlerSig matches func(..., http.ResponseWriter, *http.Request) — the
+// two trailing parameters are what http.HandlerFunc and mux registration
+// require.
+func isHandlerSig(pass *framework.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var ptypes []types.Type
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			ptypes = append(ptypes, t)
+		}
+	}
+	if len(ptypes) != 2 {
+		return false
+	}
+	return isNetHTTP(ptypes[0], "ResponseWriter", false) && isNetHTTP(ptypes[1], "Request", true)
+}
+
+func isNetHTTP(t types.Type, name string, wantPtr bool) bool {
+	if t == nil {
+		return false
+	}
+	if wantPtr {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == name
+}
+
+func checkHandler(pass *framework.Pass, body *ast.BlockStmt) {
+	if takesLock(pass, body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		recv := selection.Recv()
+		mutexField := guardingMutex(recv)
+		if mutexField == "" {
+			return true
+		}
+		fieldObj := selection.Obj()
+		if isMutex(fieldObj.Type()) {
+			return true // taking the mutex itself is not guarded state
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"handler accesses field %s of %s directly; that struct is guarded by its %s field — hold the lock or go through a locked accessor",
+			fieldObj.Name(), typeName(recv), mutexField)
+		return true
+	})
+}
+
+// takesLock reports whether body calls Lock or RLock on a sync mutex.
+func takesLock(pass *framework.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if t := pass.TypeOf(sel.X); t != nil && !isMutexOrPtr(t) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// guardingMutex returns the name of a sync.Mutex/RWMutex field in t's
+// struct (dereferenced), or "".
+func guardingMutex(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutex(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+func isMutexOrPtr(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isMutex(t)
+}
+
+func isMutex(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package handlerlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/handlerlock"
+)
+
+func TestHandlerLock(t *testing.T) {
+	analysistest.Run(t, handlerlock.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+// Fixture: handlers touching guarded state that handlerlock must flag.
+package a
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+type registry struct {
+	mu     sync.RWMutex
+	points map[string]int
+	hits   int64
+}
+
+type server struct {
+	reg *registry
+}
+
+// Direct map read of guarded state: races with concurrent registration.
+func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	v := s.reg.points[name] // want "guarded by its mu field"
+	fmt.Fprintln(w, v)
+}
+
+// Direct write of guarded state.
+func (s *server) handleHit(w http.ResponseWriter, r *http.Request) {
+	s.reg.hits++ // want "guarded by its mu field"
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Handler registered as a function literal is checked too.
+func register(mux *http.ServeMux, reg *registry) {
+	mux.HandleFunc("/peek", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, len(reg.points)) // want "guarded by its mu field"
+	})
+}

@@ -1,0 +1,60 @@
+// Fixture: correct handler patterns — none of these may be flagged.
+package a
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Locked accessor: the method takes the lock internally, so calling it
+// from a handler is fine.
+func (g *registry) Lookup(name string) (int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.points[name]
+	return v, ok
+}
+
+func (s *server) handleViaAccessor(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.reg.Lookup(r.URL.Query().Get("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintln(w, v)
+}
+
+// Handler that takes the lock itself.
+func (s *server) handleLocked(w http.ResponseWriter, r *http.Request) {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	fmt.Fprintln(w, len(s.reg.points))
+}
+
+// Unguarded struct: no mutex field means no guarded state to protect.
+type staticConfig struct {
+	greeting string
+}
+
+type staticServer struct {
+	cfg staticConfig
+}
+
+func (s *staticServer) handleGreeting(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, s.cfg.greeting)
+}
+
+// Non-handler functions may touch fields freely; only the HTTP entry
+// points are held to the rule.
+func (s *server) rebuild() int {
+	return len(s.reg.points)
+}
+
+// Audited immutable-after-init access: suppressed with a reason.
+func (s *server) handleSuppressed(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore handlerlock points is frozen before the server starts serving
+	fmt.Fprintln(w, len(s.reg.points))
+}
+
+var _ sync.Locker = (*sync.Mutex)(nil)

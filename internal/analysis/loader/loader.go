@@ -1,0 +1,189 @@
+// Package loader type-checks Go packages for urbane-lint without depending
+// on golang.org/x/tools/go/packages.
+//
+// Strategy (the same one go/packages uses in LoadTypes mode): ask the go
+// command for compiled export data of every dependency — `go list -export
+// -deps -json` compiles what is stale and prints the build-cache path of
+// each package's export file — then parse only the target packages from
+// source and type-check them against that export data with the standard
+// library's gc importer. No network, no third-party modules, and no
+// topological source type-checking of the whole dependency graph.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Exports resolves import paths to compiled export-data files, shelling out
+// to the go command lazily and caching results. It is safe for concurrent
+// use and usable as a lookup source for importer.ForCompiler.
+type Exports struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]string
+}
+
+// NewExports returns an export-data resolver rooted at dir (the directory
+// the go command runs in, which determines the module context).
+func NewExports(dir string) *Exports {
+	return &Exports{dir: dir, files: make(map[string]string)}
+}
+
+// Preload resolves patterns and all their transitive dependencies in one
+// go-command invocation.
+func (e *Exports) Preload(patterns ...string) error {
+	args := append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	entries, err := goList(e.dir, args...)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range entries {
+		if ent.Export != "" {
+			e.files[ent.ImportPath] = ent.Export
+		}
+	}
+	return nil
+}
+
+// Lookup implements the lookup contract of importer.ForCompiler: it returns
+// a reader over the export data for path.
+func (e *Exports) Lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	file, ok := e.files[path]
+	e.mu.Unlock()
+	if !ok {
+		// Cache miss (an import the preload didn't cover): resolve just
+		// this path and its deps.
+		if err := e.Preload(path); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		file, ok = e.files[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Importer returns a types.Importer that resolves imports through e.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", e.Lookup)
+}
+
+// Load parses and type-checks the packages matching patterns, resolving
+// the module context from dir. Test files are not included: urbane-lint
+// analyzes production code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := NewExports(dir)
+	if err := exports.Preload(patterns...); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(t.ImportPath, fset, files, exports.Importer(fset))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with full types.Info.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,284 @@
+// Package sharedwrite flags unsynchronized writes to captured variables
+// inside goroutine fan-out loops — the dominant concurrency pattern in the
+// raster-join kernels:
+//
+//	for s := 0; s < n; s += shard {
+//		go func() {
+//			results = append(results, ...) // BAD: shared slice header
+//			counts[key]++                  // BAD: shared map / aliased index
+//			part[i] = ...                  // OK: i is goroutine-local
+//		}()
+//	}
+//
+// A write is reported when the target's root variable is declared outside
+// the goroutine's function literal, unless
+//
+//   - the written index is derived from a goroutine-local variable or from
+//     a loop variable of an enclosing loop (per-iteration since Go 1.22),
+//     which makes the index space partitioned across goroutines, or
+//   - the function literal takes a mutex (a Lock/RLock call anywhere in its
+//     body), in which case the whole goroutine is assumed guarded.
+//
+// Map writes are always reported: distinct keys do not make concurrent map
+// access safe.
+package sharedwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the sharedwrite check.
+var Analyzer = &framework.Analyzer{
+	Name: "sharedwrite",
+	Doc:  "flags unsynchronized writes to captured variables inside goroutine fan-out loops",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		var loops []map[types.Object]bool
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if isLoop(top) {
+					loops = loops[:len(loops)-1]
+				}
+				return true
+			}
+			stack = append(stack, n)
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, loopVars(pass, s.Init))
+			case *ast.RangeStmt:
+				loops = append(loops, rangeVars(pass, s))
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && len(loops) > 0 {
+					checkGoroutine(pass, lit, loops)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+func loopVars(pass *framework.Pass, init ast.Stmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	if as, ok := init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+	}
+	return vars
+}
+
+func rangeVars(pass *framework.Pass, s *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+func checkGoroutine(pass *framework.Pass, lit *ast.FuncLit, loops []map[types.Object]bool) {
+	if holdsLock(pass, lit) {
+		return
+	}
+	loopVarSet := make(map[types.Object]bool)
+	for _, l := range loops {
+		for o := range l {
+			loopVarSet[o] = true
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(pass, lit, loopVarSet, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, loopVarSet, s.X)
+		}
+		return true
+	})
+}
+
+// holdsLock reports whether the goroutine body calls Lock or RLock on a
+// sync mutex anywhere — a coarse signal that its shared writes are guarded.
+func holdsLock(pass *framework.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if t := pass.TypeOf(sel.X); t != nil && !isSyncLocker(t) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func isSyncLocker(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+func checkWrite(pass *framework.Pass, lit *ast.FuncLit, loopVarSet map[types.Object]bool, target ast.Expr) {
+	target = unparen(target)
+	switch e := target.(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		if !captured(obj, lit) || loopVarSet[obj] {
+			return
+		}
+		pass.Reportf(e.Pos(), "goroutine in fan-out loop assigns to captured variable %q; give each goroutine its own accumulator or guard the write", e.Name)
+	case *ast.IndexExpr:
+		root := rootIdent(e.X)
+		if root == nil {
+			return
+		}
+		obj := pass.ObjectOf(root)
+		if !captured(obj, lit) {
+			return
+		}
+		if isMap(pass.TypeOf(e.X)) {
+			pass.Reportf(e.Pos(), "goroutine in fan-out loop writes to captured map %q; concurrent map writes race even on distinct keys — guard with a mutex or merge per-goroutine maps", root.Name)
+			return
+		}
+		if partitionedIndex(pass, lit, loopVarSet, e.Index) {
+			return
+		}
+		pass.Reportf(e.Pos(), "goroutine in fan-out loop writes %q at an index that is not goroutine-local; partition the index range per goroutine or guard the write", root.Name)
+	case *ast.SelectorExpr:
+		root := rootIdent(e.X)
+		if root == nil {
+			return
+		}
+		if obj := pass.ObjectOf(root); captured(obj, lit) && !indexPartitionedChain(pass, lit, loopVarSet, e.X) {
+			pass.Reportf(e.Pos(), "goroutine in fan-out loop writes field %s of captured variable %q without synchronization", e.Sel.Name, root.Name)
+		}
+	case *ast.StarExpr:
+		if root := rootIdent(e.X); root != nil {
+			if obj := pass.ObjectOf(root); captured(obj, lit) {
+				pass.Reportf(e.Pos(), "goroutine in fan-out loop writes through captured pointer %q without synchronization", root.Name)
+			}
+		}
+	}
+}
+
+// captured reports whether obj is a variable declared outside lit (and thus
+// shared between every goroutine the loop launches).
+func captured(obj types.Object, lit *ast.FuncLit) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Name() == "_" {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// partitionedIndex reports whether idx depends on at least one
+// goroutine-local variable or enclosing loop variable — the signature of a
+// partitioned index space like part[i] with i passed in or derived from an
+// atomic cursor.
+func partitionedIndex(pass *framework.Pass, lit *ast.FuncLit, loopVarSet map[types.Object]bool, idx ast.Expr) bool {
+	ok := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if loopVarSet[obj] || !captured(obj, lit) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// indexPartitionedChain reports whether the selector base is an index
+// expression whose index is goroutine-local (part[i].Count++ with local i).
+func indexPartitionedChain(pass *framework.Pass, lit *ast.FuncLit, loopVarSet map[types.Object]bool, base ast.Expr) bool {
+	base = unparen(base)
+	if ix, ok := base.(*ast.IndexExpr); ok {
+		return partitionedIndex(pass, lit, loopVarSet, ix.Index)
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,92 @@
+// Fixture: writes that sharedwrite must flag.
+package a
+
+import "sync"
+
+func appendShared(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			out = append(out, it*2) // want "assigns to captured variable \"out\""
+		}(it)
+	}
+	wg.Wait()
+	return out
+}
+
+func mapShared(items []string) map[string]int {
+	counts := make(map[string]int)
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it string) {
+			defer wg.Done()
+			counts[it] = i // want "writes to captured map \"counts\""
+		}(i, it)
+	}
+	wg.Wait()
+	return counts
+}
+
+func sharedIndex(items []float64) float64 {
+	sums := make([]float64, 1)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it float64) {
+			defer wg.Done()
+			sums[0] += it // want "writes \"sums\" at an index that is not goroutine-local"
+		}(it)
+	}
+	wg.Wait()
+	return sums[0]
+}
+
+func scalarShared(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			total += it // want "assigns to captured variable \"total\""
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+type stat struct {
+	Count int64
+	Sum   float64
+}
+
+func fieldShared(items []float64) stat {
+	var s stat
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it float64) {
+			defer wg.Done()
+			s.Count++      // want "writes field Count of captured variable \"s\""
+			s.Sum += it    // want "writes field Sum of captured variable \"s\""
+		}(it)
+	}
+	wg.Wait()
+	return s
+}
+
+func pointerShared(items []int, dst *int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			*dst = it // want "writes through captured pointer \"dst\""
+		}(it)
+	}
+	wg.Wait()
+}

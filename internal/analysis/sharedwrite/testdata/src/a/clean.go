@@ -1,0 +1,120 @@
+// Fixture: the repaired patterns — none of these may be flagged.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Partitioned by the loop variable (per-iteration since Go 1.22): every
+// goroutine owns a distinct slot.
+func partitionedByLoopVar(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = it * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Partitioned by a parameter: the classic shard fan-out used by the
+// raster-join kernels.
+func partitionedByParam(items []float64) []float64 {
+	sums := make([]float64, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return sums
+}
+
+// Partitioned by an atomic cursor: the index is goroutine-local even though
+// the slice is shared.
+func atomicCursor(n int, stats []int64) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				stats[k]++
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Guarded by a mutex: the goroutine takes a lock, so writes are assumed
+// synchronized.
+func mutexGuarded(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+// Per-goroutine accumulator merged after Wait: shared state is only touched
+// by the parent.
+func partialMerge(items []int) int {
+	parts := make([]int, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := 0
+			for _, it := range items {
+				local += it
+			}
+			parts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// Suppressed: an audited intentional pattern stays quiet under
+// //lint:ignore with a reason.
+func suppressed(items []int) int {
+	done := make(chan struct{})
+	total := 0
+	for _, it := range items {
+		it := it
+		go func() {
+			//lint:ignore sharedwrite audited: single goroutine drains before close
+			total += it
+			done <- struct{}{}
+		}()
+		<-done
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+// Fixture: WaitGroup misuse that waitgroup must flag.
+package a
+
+import "sync"
+
+func addInsideGoroutine(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the goroutine"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneNotDeferred(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			_ = it * 2
+			wg.Done() // want "Done called without defer"
+		}(it)
+	}
+	wg.Wait()
+}
+
+func missingDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never calls wg.Done"
+		println("working")
+	}()
+	wg.Wait()
+}
+
+func passedByValue(wg sync.WaitGroup) { // want "passed by value"
+	wg.Done()
+}
+
+func copiedByValue() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg2 := wg // want "copied by value"
+	go func() {
+		defer wg2.Done()
+	}()
+	wg.Wait()
+}

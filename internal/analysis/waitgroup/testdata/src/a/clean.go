@@ -1,0 +1,51 @@
+// Fixture: correct WaitGroup usage — none of these may be flagged.
+package a
+
+import "sync"
+
+func correctFanOut(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			_ = it * 2
+		}(it)
+	}
+	wg.Wait()
+}
+
+func addBatchBeforeLoop(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func passedByPointer(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func fieldReceiver() {
+	type pool struct {
+		wg sync.WaitGroup
+	}
+	p := &pool{}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+func suppressedDone(ready *sync.WaitGroup) {
+	go func() {
+		//lint:ignore waitgroup audited: Done marks readiness mid-goroutine by design
+		ready.Done()
+		select {}
+	}()
+}

@@ -1,0 +1,206 @@
+// Package waitgroup flags the three sync.WaitGroup misuse patterns that
+// break fan-out kernels:
+//
+//  1. wg.Add called inside the goroutine it accounts for — Wait can run
+//     before the goroutine is scheduled, returning early:
+//
+//     go func() { wg.Add(1); ... }() // BAD
+//
+//  2. wg.Done called as a plain statement instead of deferred — a panic
+//     (or early return added later) between the work and Done deadlocks
+//     Wait:
+//
+//     go func() { work(); wg.Done() }() // BAD: defer wg.Done()
+//
+//     As a special case, an Add immediately followed by a goroutine whose
+//     body never calls Done on the same WaitGroup is reported at the go
+//     statement.
+//
+//  3. A sync.WaitGroup copied by value — a parameter of type
+//     sync.WaitGroup, or an assignment copying one — so Done decrements a
+//     copy and Wait blocks forever. (go vet's copylocks catches some of
+//     these; this check names the WaitGroup-specific failure.)
+package waitgroup
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the waitgroup check.
+var Analyzer = &framework.Analyzer{
+	Name: "waitgroup",
+	Doc:  "flags sync.WaitGroup misuse: Add inside the goroutine, non-deferred Done, copies by value",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, lit)
+				}
+			case *ast.BlockStmt:
+				checkAddThenGo(pass, s)
+			case *ast.FuncDecl:
+				checkParams(pass, s.Type)
+			case *ast.FuncLit:
+				checkParams(pass, s.Type)
+			case *ast.AssignStmt:
+				checkValueCopy(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody flags wg.Add inside the goroutine and non-deferred
+// wg.Done. Nested function literals get their own visit via the outer
+// Inspect, so only this body's direct statements are considered.
+func checkGoroutineBody(pass *framework.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch wgMethod(pass, call) {
+				case "Add":
+					pass.Reportf(call.Pos(), "wg.Add inside the goroutine it accounts for; Wait may return before this runs — call Add before the go statement")
+				case "Done":
+					pass.Reportf(call.Pos(), "wg.Done called without defer; a panic before this line deadlocks Wait — use defer wg.Done() as the first statement")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAddThenGo flags `wg.Add(1); go func(){...}()` pairs where the
+// goroutine body never calls Done on the same WaitGroup.
+func checkAddThenGo(pass *framework.Pass, block *ast.BlockStmt) {
+	for i := 0; i+1 < len(block.List); i++ {
+		es, ok := block.List[i].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		addCall, ok := es.X.(*ast.CallExpr)
+		if !ok || wgMethod(pass, addCall) != "Add" {
+			continue
+		}
+		gs, ok := block.List[i+1].(*ast.GoStmt)
+		if !ok {
+			continue
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		wgObj := receiverObj(pass, addCall)
+		if wgObj == nil {
+			continue
+		}
+		if !callsDoneOn(pass, lit, wgObj) {
+			pass.Reportf(gs.Pos(), "goroutine started after %s.Add never calls %s.Done; Wait will block forever", wgObj.Name(), wgObj.Name())
+		}
+	}
+}
+
+func callsDoneOn(pass *framework.Pass, lit *ast.FuncLit, wgObj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || wgMethod(pass, call) != "Done" {
+			return true
+		}
+		if receiverObj(pass, call) == wgObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func checkParams(pass *framework.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, ptr := t.Underlying().(*types.Pointer); ptr {
+			continue // *sync.WaitGroup is the correct form
+		}
+		if isWaitGroup(t) {
+			pass.Reportf(field.Pos(), "sync.WaitGroup passed by value; Done decrements a copy and Wait blocks forever — pass *sync.WaitGroup")
+		}
+	}
+}
+
+func checkValueCopy(pass *framework.Pass, s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if isWaitGroup(pass.TypeOf(rhs)) {
+				pass.Reportf(rhs.Pos(), "sync.WaitGroup copied by value; the copy's counter is independent — use a pointer")
+			}
+		}
+	}
+}
+
+// wgMethod returns "Add"/"Done"/"Wait" when call is that method on a
+// sync.WaitGroup, else "".
+func wgMethod(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return ""
+	}
+	if !isWaitGroup(pass.TypeOf(sel.X)) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// receiverObj resolves the root variable of the method receiver, so Done
+// calls can be matched to the WaitGroup their Add incremented.
+func receiverObj(pass *framework.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}

@@ -1,0 +1,12 @@
+package waitgroup_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waitgroup"
+)
+
+func TestWaitGroup(t *testing.T) {
+	analysistest.Run(t, waitgroup.Analyzer, "a")
+}

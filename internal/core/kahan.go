@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/fsum"
+
+// Compensated-summation helpers the floataccum analyzer points kernel code
+// at. The implementations live in the leaf package internal/fsum so that
+// geometry and raster code below the kernel layer can share them; these
+// aliases give kernels the spelling the diagnostics suggest.
+
+// KahanSum returns the Neumaier-compensated sum of xs: O(eps) error
+// independent of length, where naive accumulation drifts by O(n·eps).
+func KahanSum(xs []float64) float64 { return fsum.Sum(xs) }
+
+// PairwiseSum returns the cascade sum of xs: O(eps·log n) error with plain
+// adds, cheaper than KahanSum on long slices.
+func PairwiseSum(xs []float64) float64 { return fsum.Pairwise(xs) }
+
+// KahanAccumulator is a running compensated accumulator for streaming
+// reductions; the zero value is an empty sum.
+type KahanAccumulator = fsum.Kahan

@@ -221,6 +221,7 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 				}
 				cnt[s] += int64(v)
 				if sumTex[s] != nil {
+					//lint:ignore floataccum per-fragment hot loop mirroring GPU additive blending; trip count bounded by tile pixels
 					sum[s] += sumTex[s].At(px, py)
 				}
 			}
@@ -239,6 +240,7 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 						}
 						cnt[s]++
 						if attrs[s] != nil {
+							//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
 							sum[s] += attrs[s][id]
 						}
 					}
@@ -248,6 +250,7 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 		}
 		for s := range specs {
 			results[s].Stats[k].Count += cnt[s]
+			//lint:ignore floataccum merge of one partial per canvas tile; tile count is single digits
 			results[s].Stats[k].Sum += sum[s]
 		}
 	})

@@ -170,6 +170,10 @@ func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats [
 	type partial struct {
 		stats []RegionStat
 	}
+	// Race audit (sharedwrite-clean): every goroutine accumulates into the
+	// `part` slice it receives as an argument; the canvas draw calls only
+	// read shared textures (idTex, slotOf, candidates are immutable once
+	// built). Partials merge after wg.Wait().
 	parts := make([]partial, 0, workers)
 	var wg sync.WaitGroup
 	for s := lo; s < hi; s += shard {

@@ -289,8 +289,14 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 			}
 		})
 
-	// Passes 2 and 3: per-region accumulation, parallel across regions
-	// (each region owns its stats slot; textures and bins are read-only).
+	// Passes 2 and 3: per-region accumulation, parallel across regions.
+	//
+	// Race audit (sharedwrite-clean): the atomic cursor assigns each
+	// region index k to exactly one goroutine, so stats[k] has a single
+	// writer; countTex/sumTex/minTex/maxTex, bins, slotOf and
+	// regionPixels are frozen after pass 1 and only read here. Each
+	// goroutine's scratch bitmap is goroutine-local. wg.Wait() orders the
+	// caller's reads after all writes.
 	regions := req.Regions.Regions
 	workers := r.workers
 	if workers > len(regions) {
@@ -357,6 +363,7 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 								local.Observe(attr[id])
 							case attr != nil:
 								local.Count++
+								//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
 								local.Sum += attr[id]
 							default:
 								local.Count++

@@ -217,6 +217,7 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 				}
 				cnt += int64(v)
 				if sumTex != nil {
+					//lint:ignore floataccum per-fragment hot loop mirroring GPU additive blending; trip count bounded by region pixels
 					sum += sumTex.Data[idx]
 				}
 			}
@@ -228,6 +229,7 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 						if poly.Contains(p) {
 							cnt++
 							if attr != nil {
+								//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
 								sum += attr[id]
 							}
 						}
@@ -273,6 +275,11 @@ func timesSorted(t []int64) bool {
 }
 
 // parallelRegions fans region indices [0,n) across the joiner's workers.
+//
+// Race audit (sharedwrite-clean): k comes from an atomic cursor, so each
+// index is claimed by exactly one goroutine; fn must only write state
+// owned by region k (the callers write stats[k]), which partitions every
+// write. wg.Wait() sequences the caller's reads after all writes.
 func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
 	workers := r.workers
 	if workers > n {

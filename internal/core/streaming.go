@@ -214,6 +214,7 @@ func (s *StreamJoin) Finalize() (*Result, error) {
 						local.Observe(o.v)
 					case useAttr:
 						local.Count++
+						//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
 						local.Sum += o.v
 					default:
 						local.Count++

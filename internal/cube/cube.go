@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/fsum"
 	"repro/internal/geom"
 	"repro/internal/index"
 )
@@ -100,6 +101,11 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 	}
 
 	// Parallel over point shards with per-shard cells, merged at the end.
+	//
+	// Race audit (sharedwrite-clean): each goroutine owns the `partial`
+	// it receives as an argument (counts/sums allocated per shard); the
+	// spatial index and attribute columns are read-only. The merge into
+	// c.counts/c.sums runs single-threaded after wg.Wait().
 	workers := runtime.GOMAXPROCS(0)
 	shard := (ps.Len() + workers - 1) / workers
 	if shard < 1 {
@@ -137,6 +143,7 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 					cell := bin*c.nr + int(id)
 					p.counts[cell]++
 					for a := range attrCols {
+						//lint:ignore floataccum build hot path; error bounded per shard, partials merged below
 						p.sums[a][cell] += attrCols[a][i]
 					}
 				})
@@ -151,6 +158,7 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 		for a, name := range cfg.Attrs {
 			dst := c.sums[name]
 			for i, v := range p.sums[a] {
+				//lint:ignore floataccum merge of at most GOMAXPROCS shard partials per cell
 				dst[i] += v
 			}
 		}
@@ -236,16 +244,25 @@ func (c *Cube) Join(req core.Request) (*core.Result, error) {
 		Algorithm: c.Name(),
 	}
 	var sums []float64
+	var sumAcc []fsum.Kahan
 	if req.Agg.NeedsAttr() {
 		sums = c.sums[req.Attr]
+		// A year-long range folds hundreds of bins per region; compensate
+		// so the rolled-up sums match a direct scan to the last digit.
+		sumAcc = make([]fsum.Kahan, c.nr)
 	}
 	for b := lo; b < hi; b++ {
 		base := b * c.nr
 		for k := 0; k < c.nr; k++ {
 			res.Stats[k].Count += c.counts[base+k]
 			if sums != nil {
-				res.Stats[k].Sum += sums[base+k]
+				sumAcc[k].Add(sums[base+k])
 			}
+		}
+	}
+	if sumAcc != nil {
+		for k := range res.Stats {
+			res.Stats[k].Sum = sumAcc[k].Sum()
 		}
 	}
 	return res, nil

@@ -95,6 +95,7 @@ func Generate(cfg GenConfig) *PointSet {
 
 	totalW := 0.0
 	for _, h := range cfg.Hotspots {
+		//lint:ignore floataccum a handful of hotspot weights, all O(1) magnitude
 		totalW += h.Weight
 	}
 
@@ -201,6 +202,7 @@ func uniformIn(rng *rand.Rand, b geom.BBox) geom.Point {
 func pickHotspot(rng *rand.Rand, hs []Hotspot, totalW float64) Hotspot {
 	v := rng.Float64() * totalW
 	for _, h := range hs {
+		//lint:ignore floataccum weighted-sampling walk over a handful of hotspots
 		v -= h.Weight
 		if v <= 0 {
 			return h

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/fsum"
 )
 
 // Ring is a closed sequence of vertices. The closing edge from the last
@@ -17,12 +19,14 @@ func (r Ring) SignedArea() float64 {
 	if len(r) < 3 {
 		return 0
 	}
-	var s float64
+	// The shoelace sum cancels heavily for far-from-origin coordinates
+	// (web-mercator meters), so accumulate with compensation.
+	var s fsum.Kahan
 	for i, p := range r {
 		q := r[(i+1)%len(r)]
-		s += p.Cross(q)
+		s.Add(p.Cross(q))
 	}
-	return s / 2
+	return s.Sum() / 2
 }
 
 // Area returns the absolute area enclosed by the ring.
@@ -68,15 +72,15 @@ func (r Ring) Centroid() Point {
 		}
 		return c
 	}
-	var cx, cy float64
+	var cx, cy fsum.Kahan
 	for i, p := range r {
 		q := r[(i+1)%len(r)]
 		w := p.Cross(q)
-		cx += (p.X + q.X) * w
-		cy += (p.Y + q.Y) * w
+		cx.Add((p.X + q.X) * w)
+		cy.Add((p.Y + q.Y) * w)
 	}
 	f := 1 / (6 * a)
-	return Point{cx * f, cy * f}
+	return Point{cx.Sum() * f, cy.Sum() * f}
 }
 
 // Perimeter returns the total edge length of the ring.
@@ -84,11 +88,11 @@ func (r Ring) Perimeter() float64 {
 	if len(r) < 2 {
 		return 0
 	}
-	var s float64
+	var s fsum.Kahan
 	for i, p := range r {
-		s += p.Dist(r[(i+1)%len(r)])
+		s.Add(p.Dist(r[(i+1)%len(r)]))
 	}
-	return s
+	return s.Sum()
 }
 
 // Contains reports whether p is strictly inside the ring, using the crossing
@@ -192,6 +196,7 @@ func (pg Polygon) BBox() BBox { return pg.Outer.BBox() }
 func (pg Polygon) Area() float64 {
 	a := pg.Outer.Area()
 	for _, h := range pg.Holes {
+		//lint:ignore floataccum a handful of holes per polygon; each term is already compensated
 		a -= h.Area()
 	}
 	return a
@@ -206,6 +211,7 @@ func (pg Polygon) Centroid() Point {
 	for _, h := range pg.Holes {
 		ha := h.Area()
 		c = c.Sub(h.Centroid().Scale(ha))
+		//lint:ignore floataccum a handful of holes per polygon; each term is already compensated
 		total -= ha
 	}
 	if total == 0 {

@@ -1,5 +1,7 @@
 package gpu
 
+import "repro/internal/fsum"
+
 // Texture is a single-channel float64 render-target attachment. Raster Join
 // binds two of these per pass: a per-pixel point count and a per-pixel
 // attribute sum. Additive blending is expressed through Add, matching
@@ -58,11 +60,9 @@ func (t *Texture) TakeMax(x, y int, v float64) {
 	}
 }
 
-// Sum returns the total of all pixels (useful for conservation checks).
+// Sum returns the total of all pixels (useful for conservation checks),
+// pairwise-summed so the readback of a multi-megapixel target does not
+// drift.
 func (t *Texture) Sum() float64 {
-	var s float64
-	for _, v := range t.Data {
-		s += v
-	}
-	return s
+	return fsum.Pairwise(t.Data)
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsum"
 	"repro/internal/geom"
 )
 
@@ -108,8 +109,8 @@ func (f *Framework) Heatmap(req HeatmapRequest) (*Heatmap, error) {
 			}
 			hm.Counts[py*w+px] += v
 		})
+	hm.Total = fsum.Pairwise(hm.Counts)
 	for _, v := range hm.Counts {
-		hm.Total += v
 		if v > hm.Max {
 			hm.Max = v
 		}

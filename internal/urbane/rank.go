@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fsum"
 )
 
 // MetricSpec is one axis of the neighborhood comparison: a spatial
@@ -111,19 +112,22 @@ func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec
 		}
 	}
 
-	// Z-normalize each metric column so no single scale dominates.
+	// Z-normalize each metric column so no single scale dominates. The
+	// column sums are compensated: metric magnitudes span orders of
+	// magnitude (counts vs averaged fares), which is where naive
+	// mean/variance sums lose digits.
 	for m := range metrics {
-		var mean float64
+		var meanAcc fsum.Kahan
 		for k := 0; k < n; k++ {
-			mean += features[k][m]
+			meanAcc.Add(features[k][m])
 		}
-		mean /= float64(n)
-		var varsum float64
+		mean := meanAcc.Sum() / float64(n)
+		var varAcc fsum.Kahan
 		for k := 0; k < n; k++ {
 			d := features[k][m] - mean
-			varsum += d * d
+			varAcc.Add(d * d)
 		}
-		std := math.Sqrt(varsum / float64(n))
+		std := math.Sqrt(varAcc.Sum() / float64(n))
 		if std == 0 {
 			std = 1
 		}
@@ -138,11 +142,12 @@ func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec
 		if k == targetIdx {
 			continue
 		}
-		var d2 float64
+		var d2Acc fsum.Kahan
 		for m := range metrics {
 			d := features[k][m] - target[m]
-			d2 += d * d
+			d2Acc.Add(d * d)
 		}
+		d2 := d2Acc.Sum()
 		scores = append(scores, RegionScore{
 			ID:       rs.Regions[k].ID,
 			Name:     rs.Regions[k].Name,
