@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench fuzz verify
+.PHONY: build test race vet lint bench fuzz stress verify
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,12 @@ fuzz:
 	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadGeoJSON$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
+
+# Concurrency suite under the race detector: cache stress, coalescing, and
+# the cache-on/cache-off byte-identical property over the HTTP handlers.
+stress:
+	$(GO) test -race -count=1 -run 'Stress|Coalesce|Concurrent|CacheOnOff' \
+		./internal/qcache ./internal/urbane
 
 verify: build vet lint test

@@ -8,7 +8,11 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -348,6 +352,70 @@ func BenchmarkE13LOD(b *testing.B) {
 				mustJoin(b, acc, req)
 			}
 		})
+	}
+}
+
+// benchQueryServer builds a server over the E1 scene (taxi + neighborhoods
+// at resolution 1024) for the cache benchmarks.
+func benchQueryServer(b *testing.B, opts ...urbane.ServerOption) *urbane.Server {
+	b.Helper()
+	scene := getScene()
+	f := urbane.New(core.NewRasterJoin(core.WithResolution(1024)))
+	if err := f.AddPointSet(scene.Taxi); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.AddRegionSet(scene.Neighborhoods); err != nil {
+		b.Fatal(err)
+	}
+	return urbane.NewServer(f, opts...)
+}
+
+// e1MapViewBody is the E1 map-view request as the HTTP API receives it.
+func e1MapViewBody(b *testing.B) []byte {
+	b.Helper()
+	week := workload.JanWeek(1)
+	payload, err := json.Marshal(map[string]any{
+		"dataset": "taxi", "layer": "neighborhoods", "agg": "count",
+		"time": map[string]int64{"start": week.Start, "end": week.End},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}
+
+func benchServeMapView(b *testing.B, s *urbane.Server, payload []byte) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/mapview", bytes.NewReader(payload))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// BenchmarkServerQueryUncached measures the E1 map-view workload through the
+// HTTP server with the result cache disabled: every request pays the full
+// raster join.
+func BenchmarkServerQueryUncached(b *testing.B) {
+	s := benchQueryServer(b, urbane.WithoutCache())
+	payload := e1MapViewBody(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServeMapView(b, s, payload)
+	}
+}
+
+// BenchmarkServerQueryCached measures the same workload with the cache on,
+// primed by one request; steady state is the hit path (key canonicalization
+// + LRU lookup + response write).
+func BenchmarkServerQueryCached(b *testing.B) {
+	s := benchQueryServer(b)
+	payload := e1MapViewBody(b)
+	benchServeMapView(b, s, payload) // prime: pay the one miss up front
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServeMapView(b, s, payload)
 	}
 }
 

@@ -8,11 +8,16 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /api/datasets  — registered data sets and layers
-//	POST /api/query     — {"stmt": "SELECT COUNT(*) FROM taxi, neighborhoods"}
-//	POST /api/mapview   — choropleth for the map view
-//	POST /api/explore   — multi-data-set time series
-//	POST /api/rank      — neighborhood similarity ranking
+//	GET  /api/datasets   — registered data sets and layers
+//	POST /api/query      — {"stmt": "SELECT COUNT(*) FROM taxi, neighborhoods"}
+//	POST /api/mapview    — choropleth for the map view
+//	POST /api/explore    — multi-data-set time series
+//	POST /api/rank       — neighborhood similarity ranking
+//	GET  /api/cachestats — query-result cache counters
+//
+// The heavy read endpoints are served through a sharded query-result
+// cache with request coalescing (-cache-bytes to size it, 0 to disable;
+// -time-snap to quantize time filters to the workload's bucket size).
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests (up to a 10s grace period), and exits cleanly.
@@ -57,6 +62,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	buildCube := fs.Bool("cube", false, "materialize a daily pre-aggregation cube for taxi x neighborhoods")
 	resolution := fs.Int("resolution", 1024, "raster join canvas resolution (longest side, pixels)")
 	accurate := fs.Bool("accurate", true, "use the exact hybrid raster join")
+	cacheBytes := fs.Int64("cache-bytes", urbane.DefaultCacheBytes, "query-result cache capacity in bytes (0 disables)")
+	timeSnap := fs.Int64("time-snap", 1, "snap time filters outward to this granularity in seconds (1 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,7 +105,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 		log.Printf("cube: %d cells in %v", c.MemoryCells(), time.Since(start).Round(time.Millisecond))
 	}
 
-	var handler http.Handler = urbane.NewServer(f)
+	var handler http.Handler = urbane.NewServer(f,
+		urbane.WithCache(*cacheBytes), urbane.WithTimeSnap(*timeSnap))
 	if wrap != nil {
 		handler = wrap(handler)
 	}

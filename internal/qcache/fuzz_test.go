@@ -1,0 +1,111 @@
+package qcache
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// cacheKeyCorpus mirrors the statement corpus in internal/query's
+// FuzzParse, plus variants that differ only in filter order, whitespace,
+// case, or bounds — the shapes a cache key must separate or unify
+// correctly.
+var cacheKeyCorpus = []string{
+	"SELECT COUNT(*) FROM taxi, neighborhoods GROUP BY id",
+	"SELECT AVG(fare) FROM a, b WHERE fare BETWEEN 5 AND 30",
+	"SELECT MAX(x) FROM p, r WHERE time BETWEEN 0 AND 86400",
+	"select sum(y) from p , r where inside and y between -1 and 2.5",
+	"SELECT",
+	"((((",
+	"SELECT COUNT(*) FROM a, b WHERE fare BETWEEN one AND two",
+	"SELECT COUNT(*) FROM a, b WHERE fare BETWEEN 5 AND 30 AND dist BETWEEN 1 AND 2",
+	"SELECT COUNT(*) FROM a, b WHERE dist BETWEEN 1 AND 2 AND fare BETWEEN 5 AND 30",
+	"SELECT COUNT(*) FROM a, b WHERE fare BETWEEN -0 AND 30",
+	"SELECT COUNT(*) FROM a, b WHERE fare BETWEEN 0 AND 30",
+	"SELECT MIN(fare) FROM taxi, grid WHERE time BETWEEN 3599 AND 7201",
+}
+
+// canonicalKey applies the server's /api/query canonicalization: sort the
+// filter set, snap the time window, re-render, and key the quoted
+// statement.
+func canonicalKey(q query.Query, snap int64) (string, query.Query) {
+	q.Filters = CanonFilters(q.Filters)
+	q.Time = SnapTime(q.Time, snap)
+	return NewSig("query").Str("stmt", q.String()).Key(), q
+}
+
+// floatEq compares filter bounds the way the canonical encoding does: all
+// NaNs are one value, and ±0 collapse.
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b // ±0 compare equal in float64
+}
+
+func timeEq(a, b *core.TimeFilter) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+// canonEqual is structural equality of two canonicalized queries —
+// computed independently of the string encoding, so it catches both
+// collision bugs (different queries, same key) and fragmentation bugs
+// (same query, different keys).
+func canonEqual(a, b query.Query) bool {
+	if a.Agg != b.Agg || a.Attr != b.Attr || a.Points != b.Points || a.Regions != b.Regions {
+		return false
+	}
+	if !timeEq(a.Time, b.Time) {
+		return false
+	}
+	if len(a.Filters) != len(b.Filters) {
+		return false
+	}
+	for i := range a.Filters {
+		fa, fb := a.Filters[i], b.Filters[i]
+		if fa.Attr != fb.Attr || !floatEq(fa.Min, fb.Min) || !floatEq(fa.Max, fb.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzCacheKey asserts the cache key is a perfect fingerprint of the
+// canonical query: for any two parseable statements, the keys are equal
+// if and only if the canonicalized queries are structurally equal. The
+// "only if" direction is the no-collision guarantee — semantically
+// different queries can never share a cache entry.
+func FuzzCacheKey(f *testing.F) {
+	for i, a := range cacheKeyCorpus {
+		f.Add(a, cacheKeyCorpus[(i+1)%len(cacheKeyCorpus)], int64(1))
+		f.Add(a, a, int64(3600))
+	}
+	f.Add("SELECT COUNT(*) FROM t, r WHERE time BETWEEN 1 AND 3599",
+		"SELECT COUNT(*) FROM t, r WHERE time BETWEEN 2 AND 3600", int64(3600))
+	f.Fuzz(func(t *testing.T, stmtA, stmtB string, snap int64) {
+		if snap < 1 {
+			snap = 1
+		}
+		snap %= 1 << 32
+		qa, errA := query.Parse(stmtA)
+		qb, errB := query.Parse(stmtB)
+		if errA != nil || errB != nil {
+			return
+		}
+		keyA, canonA := canonicalKey(qa, snap)
+		keyB, canonB := canonicalKey(qb, snap)
+		same := canonEqual(canonA, canonB)
+		if same && keyA != keyB {
+			t.Fatalf("equivalent queries fragmented:\n%q -> %s\n%q -> %s", stmtA, keyA, stmtB, keyB)
+		}
+		if !same && keyA == keyB {
+			t.Fatalf("different queries collided on %s:\n%q (canon %+v)\n%q (canon %+v)",
+				keyA, stmtA, canonA, stmtB, canonB)
+		}
+	})
+}

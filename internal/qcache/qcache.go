@@ -1,0 +1,369 @@
+// Package qcache is the server's query-result cache: a sharded,
+// generation-stamped LRU over serialized response bodies, keyed by a
+// canonicalized query signature (see key.go), with singleflight request
+// coalescing so N concurrent identical queries compute once and fan the
+// result out.
+//
+// The design follows the observation (GeoBlocks, arXiv:1908.07753) that
+// interactive map exploration re-issues the same spatial aggregation
+// shapes — time-slider drags, resolution switches, filter toggles — so a
+// result cache over the aggregation layer is the single biggest lever for
+// repeated-workload latency.
+//
+// Concurrency model:
+//
+//   - The key space is split across shards by FNV-1a hash; each shard is an
+//     independently locked LRU list with its own byte budget, so unrelated
+//     keys never contend on one mutex.
+//   - Invalidation is O(1): a single atomic generation counter. Entries are
+//     stamped with the generation current when their compute started; a
+//     lookup that finds an entry from an older generation treats it as a
+//     miss and drops it. Results computed across an invalidation are never
+//     inserted.
+//   - Do coalesces concurrent identical requests: the first caller becomes
+//     the leader and computes, later callers block on the leader's flight
+//     and receive the same bytes. The leader publishes to the cache before
+//     retiring the flight, so a caller can never slip between "flight gone"
+//     and "cache filled" and recompute.
+//
+// Cached values are shared slices; callers must treat them as immutable.
+package qcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome says how Do satisfied a request; the server surfaces it in the
+// X-Urbane-Cache response header.
+type Outcome string
+
+const (
+	// Hit means the result was served from the cache.
+	Hit Outcome = "hit"
+	// Miss means this caller computed the result.
+	Miss Outcome = "miss"
+	// Coalesced means the caller waited on another caller's in-flight
+	// compute for the same key and shares its result.
+	Coalesced Outcome = "coalesced"
+	// Bypass means caching is disabled (nil *Cache) and the result was
+	// computed directly.
+	Bypass Outcome = "bypass"
+)
+
+// entryOverhead approximates the fixed bookkeeping cost (map slot, list
+// element, entry header) charged to every entry on top of its key and
+// value bytes.
+const entryOverhead = 160
+
+// defaultShards balances contention against per-shard budget granularity.
+const defaultShards = 16
+
+// Stats is a point-in-time counter snapshot; see the /api/cachestats
+// endpoint.
+type Stats struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Coalesced  uint64 `json:"coalesced"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Capacity   int64  `json:"capacityBytes"`
+	Generation uint64 `json:"generation"`
+}
+
+type entry struct {
+	key  string
+	val  []byte
+	gen  uint64
+	cost int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	cap   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// removeLocked drops the element; the shard mutex must be held.
+func (sh *shard) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(sh.items, e.key)
+	sh.ll.Remove(el)
+	sh.bytes -= e.cost
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is a sharded LRU result cache; safe for concurrent use. A nil
+// *Cache is a valid disabled cache: Get always misses, Put is a no-op, and
+// Do computes directly.
+type Cache struct {
+	capacity int64
+	shards   []shard
+
+	gen atomic.Uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	coalesced atomic.Uint64
+
+	flightMu sync.Mutex
+	flights  map[string]*flightCall
+}
+
+// New returns a cache bounded to capacityBytes across the default shard
+// count.
+func New(capacityBytes int64) *Cache { return NewSharded(capacityBytes, defaultShards) }
+
+// NewSharded returns a cache bounded to capacityBytes split evenly across
+// the given number of shards. Capacity is rounded down to a multiple of
+// the shard count so the bound is exact.
+func NewSharded(capacityBytes int64, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacityBytes < 0 {
+		capacityBytes = 0
+	}
+	per := capacityBytes / int64(shards)
+	c := &Cache{
+		capacity: per * int64(shards),
+		shards:   make([]shard, shards),
+		flights:  make(map[string]*flightCall),
+	}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// lookup finds a live entry without touching the hit/miss counters.
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	gen := c.gen.Load()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.gen != gen {
+		// Stale generation: lazily reclaim on access.
+		sh.removeLocked(el)
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// Get returns the cached value for key, counting a hit or miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	v, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put inserts a value at the current generation.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.putAt(key, val, c.gen.Load())
+}
+
+// putAt inserts a value stamped with the generation its compute started
+// at. If the cache has since been invalidated the stale result is dropped
+// instead of resurrecting pre-invalidation state. Eviction runs before
+// insertion so the shard's byte budget is never exceeded, even
+// transiently.
+func (c *Cache) putAt(key string, val []byte, gen uint64) {
+	if gen != c.gen.Load() {
+		return
+	}
+	cost := int64(len(key)+len(val)) + entryOverhead
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		sh.removeLocked(el) // replacement, not an eviction
+	}
+	if cost > sh.cap {
+		return // can never fit; don't thrash the shard to make room
+	}
+	for sh.bytes+cost > sh.cap {
+		back := sh.ll.Back()
+		if back == nil {
+			break
+		}
+		sh.removeLocked(back)
+		c.evictions.Add(1)
+	}
+	sh.items[key] = sh.ll.PushFront(&entry{key: key, val: val, gen: gen, cost: cost})
+	sh.bytes += cost
+}
+
+// Do returns the cached value for key, or computes it exactly once across
+// all concurrent callers. Errors are returned to the leader and every
+// coalesced waiter but never cached.
+func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	if c == nil {
+		v, err := compute()
+		return v, Bypass, err
+	}
+	if v, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return v, Hit, nil
+	}
+	c.flightMu.Lock()
+	if call, ok := c.flights[key]; ok {
+		c.flightMu.Unlock()
+		<-call.done
+		c.coalesced.Add(1)
+		return call.val, Coalesced, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flights[key] = call
+	c.flightMu.Unlock()
+
+	finish := func(val []byte, err error) {
+		call.val, call.err = val, err
+		c.flightMu.Lock()
+		delete(c.flights, key)
+		c.flightMu.Unlock()
+		close(call.done)
+	}
+
+	// Leader double-check: a previous flight may have filled the cache
+	// between our miss and taking leadership; recomputing would break the
+	// exactly-once guarantee.
+	if v, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		finish(v, nil)
+		return v, Hit, nil
+	}
+
+	gen := c.gen.Load()
+	v, err := compute()
+	c.misses.Add(1)
+	if err != nil {
+		finish(nil, err)
+		return nil, Miss, err
+	}
+	// Publish before retiring the flight so late callers that missed the
+	// cache either joined this flight or will hit the stored value.
+	c.putAt(key, v, gen)
+	finish(v, nil)
+	return v, Miss, nil
+}
+
+// Invalidate drops the whole cache in O(1) by bumping the generation;
+// stale entries are reclaimed lazily on access.
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.gen.Add(1)
+}
+
+// AdvanceGeneration raises the generation to at least gen, so callers can
+// slave the cache to an external monotonic version (the framework's
+// catalog version). Lower values are ignored.
+func (c *Cache) AdvanceGeneration(gen uint64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.gen.Load()
+		if gen <= cur || c.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// Generation returns the current generation stamp.
+func (c *Cache) Generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.gen.Load()
+}
+
+// Bytes returns the total accounted size of live entries.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of entries (including not-yet-reclaimed stale
+// ones).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Coalesced:  c.coalesced.Load(),
+		Capacity:   c.capacity,
+		Generation: c.gen.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.items)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,196 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	// Overwrite replaces.
+	c.Put("a", []byte("beta"))
+	if v, _ := c.Get("a"); string(v) != "beta" {
+		t.Fatalf("overwrite: got %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", []byte("alpha"))
+	c.Put("b", []byte("beta"))
+	c.Invalidate()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("invalidated entry should miss")
+	}
+	// Stale entries are reclaimed on access.
+	if got := c.Len(); got != 1 {
+		t.Errorf("len after stale access = %d, want 1 (b not yet touched)", got)
+	}
+	// New puts at the new generation are live.
+	c.Put("a", []byte("alpha2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "alpha2" {
+		t.Fatalf("post-invalidate put missed: %q %v", v, ok)
+	}
+	if gen := c.Generation(); gen != 1 {
+		t.Errorf("generation = %d", gen)
+	}
+}
+
+func TestAdvanceGenerationMonotonic(t *testing.T) {
+	c := New(1 << 20)
+	c.AdvanceGeneration(7)
+	if c.Generation() != 7 {
+		t.Fatalf("generation = %d", c.Generation())
+	}
+	c.AdvanceGeneration(3) // lower values ignored
+	if c.Generation() != 7 {
+		t.Fatalf("generation regressed to %d", c.Generation())
+	}
+	c.Put("k", []byte("v"))
+	c.AdvanceGeneration(8)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("advance should invalidate older entries")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard so the LRU order is fully observable. Each entry costs
+	// entryOverhead + len(key) + len(val) = 160 + 1 + 39 = 200.
+	c := NewSharded(3*200, 1)
+	val := make([]byte, 39)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Put("c", val)
+	if _, ok := c.Get("a"); !ok { // touch a so b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.Put("d", val) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := NewSharded(1024, 1)
+	c.Put("big", make([]byte, 4096))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the shard budget must not be cached")
+	}
+	if got := c.Bytes(); got != 0 {
+		t.Errorf("bytes = %d, want 0", got)
+	}
+	// And it must not have evicted anything to try.
+	c.Put("small", []byte("x"))
+	c.Put("big", make([]byte, 4096))
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized put must not evict resident entries")
+	}
+}
+
+func TestByteBoundHonored(t *testing.T) {
+	const capacity = 4096
+	c := NewSharded(capacity, 4)
+	for i := 0; i < 500; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), make([]byte, i%200))
+		if got := c.Bytes(); got > capacity {
+			t.Fatalf("after put %d: bytes = %d exceeds capacity %d", i, got, capacity)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("expected evictions under byte pressure")
+	}
+}
+
+func TestDoComputesAndCaches(t *testing.T) {
+	c := New(1 << 20)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("v"), nil }
+	v, outcome, err := c.Do("k", compute)
+	if err != nil || string(v) != "v" || outcome != Miss {
+		t.Fatalf("first Do = %q %v %v", v, outcome, err)
+	}
+	v, outcome, err = c.Do("k", compute)
+	if err != nil || string(v) != "v" || outcome != Hit {
+		t.Fatalf("second Do = %q %v %v", v, outcome, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	calls := 0
+	_, outcome, err := c.Do("k", func() ([]byte, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) || outcome != Miss {
+		t.Fatalf("Do = %v %v", outcome, err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("errors must not be cached")
+	}
+	if _, _, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (error retried)", calls)
+	}
+}
+
+func TestDoDropsResultComputedAcrossInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	_, _, err := c.Do("k", func() ([]byte, error) {
+		c.Invalidate() // the catalog changed mid-compute
+		return []byte("stale"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("result computed across an invalidation must not be cached")
+	}
+}
+
+func TestNilCacheBypasses(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache should miss")
+	}
+	c.Put("k", []byte("v")) // must not panic
+	c.Invalidate()
+	c.AdvanceGeneration(5)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, outcome, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("v"), nil })
+		if err != nil || string(v) != "v" || outcome != Bypass {
+			t.Fatalf("nil Do = %q %v %v", v, outcome, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("nil cache must compute every time, got %d calls", calls)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+}

@@ -1,0 +1,240 @@
+package urbane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qcache"
+)
+
+// DefaultCacheBytes is the query-result cache capacity a server gets when
+// no option overrides it.
+const DefaultCacheBytes = 64 << 20
+
+// Response headers the cached endpoints emit. Timing travels in a header
+// instead of the JSON body so cached bodies are deterministic: the same
+// canonical query always serves byte-identical bytes, hit or miss,
+// cache on or off.
+const (
+	cacheOutcomeHeader = "X-Urbane-Cache"
+	elapsedHeader      = "X-Urbane-Elapsed-Ms"
+)
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithCache sets the query-result cache capacity in bytes; 0 or negative
+// disables caching.
+func WithCache(capacityBytes int64) ServerOption {
+	return func(s *Server) {
+		if capacityBytes <= 0 {
+			s.cache = nil
+			return
+		}
+		s.cache = qcache.New(capacityBytes)
+	}
+}
+
+// WithoutCache disables the query-result cache; every request computes.
+func WithoutCache() ServerOption {
+	return func(s *Server) { s.cache = nil }
+}
+
+// WithTimeSnap makes the server quantize every time filter outward to
+// multiples of gran (the workload's bucket granularity, e.g. 3600 for
+// hourly data) before both keying and executing it, so ragged slider
+// windows share cache entries. gran <= 1 means no snapping.
+func WithTimeSnap(gran int64) ServerOption {
+	return func(s *Server) {
+		if gran < 1 {
+			gran = 1
+		}
+		s.snap = gran
+	}
+}
+
+// CacheStats snapshots the cache counters (zero-valued when disabled).
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// statusError carries a non-default HTTP status through a cached compute
+// function; plain errors map to 400 Bad Request.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// internalErr marks a compute failure as a 500 rather than a 400.
+func internalErr(err error) error { return &statusError{status: http.StatusInternalServerError, err: err} }
+
+// syncGeneration slaves the cache generation to the framework's catalog
+// version, so registering a data set, layer, or cube invalidates the
+// whole cache.
+func (s *Server) syncGeneration() {
+	if s.cache != nil {
+		s.cache.AdvanceGeneration(s.f.Version())
+	}
+}
+
+// snapTime applies the server's time-snap granularity.
+func (s *Server) snapTime(t *core.TimeFilter) *core.TimeFilter {
+	return qcache.SnapTime(t, s.snap)
+}
+
+// marshalBody renders a deterministic JSON response body (same trailing
+// newline as writeJSON's encoder, so cached and uncached bodies match).
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, internalErr(err)
+	}
+	return append(b, '\n'), nil
+}
+
+// serveCached satisfies one cacheable endpoint: look up the canonical key,
+// coalesce concurrent identical computes, and serve the stored bytes.
+// Compute errors are never cached; they surface with the status carried by
+// statusError (default 400).
+func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, compute func() ([]byte, error)) {
+	start := time.Now()
+	s.syncGeneration()
+	body, outcome, err := s.cache.Do(key, compute)
+	if err != nil {
+		status := http.StatusBadRequest
+		var se *statusError
+		if errors.As(err, &se) {
+			status, err = se.status, se.err
+		}
+		writeError(w, status, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set(cacheOutcomeHeader, string(outcome))
+	h.Set(elapsedHeader, strconv.FormatFloat(float64(time.Since(start))/float64(time.Millisecond), 'f', 3, 64))
+	_, _ = w.Write(body)
+}
+
+// serveCachedImage wraps serveCached for the GET image endpoints with
+// HTTP revalidation: a strong ETag derived from the cache key and the
+// current generation, honored via If-None-Match with 304. Within one
+// generation the catalog is immutable and rendering is deterministic, so
+// key+generation fully determines the bytes — the validator is strong.
+func (s *Server) serveCachedImage(w http.ResponseWriter, r *http.Request, key, contentType string, compute func() ([]byte, error)) {
+	s.syncGeneration()
+	etag := s.etagFor(key)
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "private, no-cache")
+	if matchesETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.serveCached(w, key, contentType, compute)
+}
+
+// etagFor derives the strong validator for a cache key at the current
+// generation.
+func (s *Server) etagFor(key string) string {
+	gen := s.f.Version()
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return fmt.Sprintf("\"%016x-%x\"", h.Sum64(), gen)
+}
+
+// matchesETag implements the If-None-Match comparison: a comma-separated
+// list of validators or "*". Weak prefixes compare equal to their strong
+// form (weak comparison is what If-None-Match specifies).
+func matchesETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical cache keys, one constructor per cached endpoint. All request
+// fields that influence the response participate; filters are sorted and
+// time windows snapped before this point.
+
+func mapViewKey(req MapViewRequest) string {
+	return qcache.NewSig("mapview").
+		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Str("agg", req.Agg.String()).Str("attr", req.Attr).
+		Filters("f", req.Filters).TimeRange("t", req.Time).Key()
+}
+
+func queryKey(canonicalStmt string) string {
+	return qcache.NewSig("query").Str("stmt", canonicalStmt).Key()
+}
+
+func heatmapKey(req HeatmapRequest) string {
+	return qcache.NewSig("heatmap").
+		Str("dataset", req.Dataset).Int("w", int64(req.W)).Int("h", int64(req.H)).
+		Str("weight", req.Weight).
+		Filters("f", req.Filters).TimeRange("t", req.Time).Key()
+}
+
+func deltaKey(req DeltaRequest) string {
+	return qcache.NewSig("delta").
+		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Str("agg", req.Agg.String()).Str("attr", req.Attr).
+		Filters("f", req.Filters).
+		TimeRange("a", &req.A).TimeRange("b", &req.B).Key()
+}
+
+func tileKey(z, x, y int, dataset string) string {
+	return qcache.NewSig("tile").
+		Int("z", int64(z)).Int("x", int64(x)).Int("y", int64(y)).
+		Str("dataset", dataset).Key()
+}
+
+func choroplethKey(req MapViewRequest, width int) string {
+	return qcache.NewSig("choropng").
+		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Str("agg", req.Agg.String()).Str("attr", req.Attr).
+		Int("w", int64(width)).Key()
+}
+
+// cacheStatsResponse is the /api/cachestats payload.
+type cacheStatsResponse struct {
+	Enabled  bool  `json:"enabled"`
+	TimeSnap int64 `json:"timeSnap"`
+	qcache.Stats
+}
+
+// handleCacheStats reports hit/miss/evict/coalesce counters, occupancy,
+// and the current generation: GET /api/cachestats.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.syncGeneration()
+	writeJSON(w, http.StatusOK, cacheStatsResponse{
+		Enabled:  s.cache != nil,
+		TimeSnap: s.snap,
+		Stats:    s.cache.Stats(),
+	})
+}

@@ -13,6 +13,7 @@ package urbane
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -27,7 +28,15 @@ type Framework struct {
 	points  map[string]*data.PointSet
 	regions map[string]*data.RegionSet
 	planner *query.Planner
+	// version counts catalog mutations (data sets, layers, cubes); the
+	// server's query-result cache slaves its generation to it so any
+	// (re)load invalidates every cached response.
+	version atomic.Uint64
 }
+
+// Version returns the catalog version: it increases whenever a point set,
+// region set, or cube is registered, and never otherwise.
+func (f *Framework) Version() uint64 { return f.version.Load() }
 
 // New returns a framework executing ad-hoc queries on the given raster
 // joiner (nil uses a default accurate joiner at 1024px — exact results at
@@ -57,6 +66,7 @@ func (f *Framework) AddPointSet(ps *data.PointSet) error {
 		return fmt.Errorf("urbane: point set %q already registered", ps.Name)
 	}
 	f.points[ps.Name] = ps
+	f.version.Add(1)
 	return nil
 }
 
@@ -76,6 +86,7 @@ func (f *Framework) AddRegionSet(rs *data.RegionSet) error {
 		return fmt.Errorf("urbane: region set %q already registered", rs.Name)
 	}
 	f.regions[rs.Name] = rs
+	f.version.Add(1)
 	return nil
 }
 
@@ -98,6 +109,7 @@ func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []stri
 	f.mu.Lock()
 	f.planner.AddCube(c)
 	f.mu.Unlock()
+	f.version.Add(1)
 	return c, nil
 }
 

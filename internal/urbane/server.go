@@ -6,22 +6,34 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/qcache"
+	"repro/internal/query"
 )
 
 // Server exposes the framework over the JSON API the demo frontend speaks.
+// The heavy read endpoints (/api/query, /api/mapview, /api/heatmap,
+// /api/delta, /api/tile/, /api/render/choropleth.png) are served through a
+// sharded query-result cache with request coalescing; see cache.go and
+// internal/qcache.
 type Server struct {
-	f   *Framework
-	mux *http.ServeMux
+	f     *Framework
+	mux   *http.ServeMux
+	cache *qcache.Cache // nil = caching disabled
+	snap  int64         // time-filter snap granularity, >= 1
 }
 
-// NewServer wraps a framework.
-func NewServer(f *Framework) *Server {
-	s := &Server{f: f, mux: http.NewServeMux()}
+// NewServer wraps a framework. By default responses are cached in
+// DefaultCacheBytes of memory; see WithCache, WithoutCache, WithTimeSnap.
+func NewServer(f *Framework, opts ...ServerOption) *Server {
+	s := &Server{f: f, mux: http.NewServeMux(), cache: qcache.New(DefaultCacheBytes), snap: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/api/cachestats", s.handleCacheStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/mapview", s.handleMapView)
 	s.mux.HandleFunc("/api/explore", s.handleExplore)
@@ -65,10 +77,12 @@ type queryRequest struct {
 	Stmt string `json:"stmt"`
 }
 
+// queryResponse is the /api/query payload. Timing travels in the
+// X-Urbane-Elapsed-Ms header, not the body, so cached responses stay
+// byte-identical to fresh ones.
 type queryResponse struct {
 	Algorithm string        `json:"algorithm"`
 	Reason    string        `json:"reason"`
-	ElapsedMS float64       `json:"elapsedMs"`
 	Rows      []RegionValue `json:"rows"`
 }
 
@@ -77,22 +91,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	exec, err := s.f.Query(req.Stmt)
+	// Canonicalize the statement before keying and executing: parse, sort
+	// the conjunctive filter set, snap the time window, and re-render. Any
+	// two statements with the same meaning share one cache entry and one
+	// compute.
+	q, err := query.Parse(req.Stmt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rs := exec.Plan.Request.Regions
-	rows := make([]RegionValue, len(exec.Result.Stats))
-	for k, reg := range rs.Regions {
-		rows[k] = RegionValue{ID: reg.ID, Name: reg.Name,
-			Value: exec.Result.Value(k, exec.Plan.Request.Agg)}
-	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Algorithm: exec.Result.Algorithm,
-		Reason:    exec.Plan.Reason,
-		ElapsedMS: float64(exec.Elapsed) / float64(time.Millisecond),
-		Rows:      rows,
+	q.Filters = qcache.CanonFilters(q.Filters)
+	q.Time = s.snapTime(q.Time)
+	stmt := q.String()
+	s.serveCached(w, queryKey(stmt), "application/json", func() ([]byte, error) {
+		exec, err := s.f.Query(stmt)
+		if err != nil {
+			return nil, err
+		}
+		rs := exec.Plan.Request.Regions
+		rows := make([]RegionValue, len(exec.Result.Stats))
+		for k, reg := range rs.Regions {
+			rows[k] = RegionValue{ID: reg.ID, Name: reg.Name,
+				Value: exec.Result.Value(k, exec.Plan.Request.Agg)}
+		}
+		return marshalBody(queryResponse{
+			Algorithm: exec.Result.Algorithm,
+			Reason:    exec.Plan.Reason,
+			Rows:      rows,
+		})
 	})
 }
 
@@ -157,14 +183,17 @@ func (s *Server) handleMapView(w http.ResponseWriter, r *http.Request) {
 		Agg: agg, Attr: wreq.Attr, Filters: toFilters(wreq.Filters),
 	}
 	if wreq.Time != nil {
-		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
+		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	ch, err := s.f.MapView(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ch)
+	s.serveCached(w, mapViewKey(req), "application/json", func() ([]byte, error) {
+		ch, err := s.f.MapView(req)
+		if err != nil {
+			return nil, err
+		}
+		body := *ch
+		body.Elapsed = 0 // timing goes in the header; bodies are deterministic
+		return marshalBody(&body)
+	})
 }
 
 type exploreWire struct {
@@ -264,17 +293,21 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.f.Delta(DeltaRequest{
+	req := DeltaRequest{
 		Dataset: wreq.Dataset, Layer: wreq.Layer,
 		Agg: agg, Attr: wreq.Attr, Filters: toFilters(wreq.Filters),
-		A: core.TimeFilter{Start: wreq.A.Start, End: wreq.A.End},
-		B: core.TimeFilter{Start: wreq.B.Start, End: wreq.B.End},
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		A: *s.snapTime(&core.TimeFilter{Start: wreq.A.Start, End: wreq.A.End}),
+		B: *s.snapTime(&core.TimeFilter{Start: wreq.B.Start, End: wreq.B.End}),
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.serveCached(w, deltaKey(req), "application/json", func() ([]byte, error) {
+		view, err := s.f.Delta(req)
+		if err != nil {
+			return nil, err
+		}
+		body := *view
+		body.Elapsed = 0
+		return marshalBody(&body)
+	})
 }
 
 type heatmapWire struct {
@@ -296,14 +329,17 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		Weight: wreq.Weight, Filters: toFilters(wreq.Filters),
 	}
 	if wreq.Time != nil {
-		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
+		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	hm, err := s.f.Heatmap(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, hm)
+	s.serveCached(w, heatmapKey(req), "application/json", func() ([]byte, error) {
+		hm, err := s.f.Heatmap(req)
+		if err != nil {
+			return nil, err
+		}
+		body := *hm
+		body.Elapsed = 0
+		return marshalBody(&body)
+	})
 }
 
 type flowWire struct {

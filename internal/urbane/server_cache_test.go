@@ -1,0 +1,487 @@
+package urbane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/qcache"
+)
+
+// cacheStats fetches /api/cachestats.
+func cacheStats(t *testing.T, s *Server) cacheStatsResponse {
+	t.Helper()
+	rec := doJSON(t, s, http.MethodGet, "/api/cachestats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cachestats status = %d: %s", rec.Code, rec.Body)
+	}
+	var st cacheStatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// invalidateViaCatalog registers a throwaway point set, which bumps the
+// framework version and thereby the cache generation.
+func invalidateViaCatalog(t *testing.T, f *Framework, name string) {
+	t.Helper()
+	ps := &data.PointSet{Name: name, X: []float64{1}, Y: []float64{2}}
+	if err := f.AddPointSet(ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedEndpointLifecycle drives every cached endpoint through the
+// miss -> hit -> invalidate -> miss lifecycle: the second identical
+// request serves the same body from cache and bumps the hit counter; a
+// catalog mutation invalidates; and the recomputed response is identical
+// because the queried data did not change.
+func TestCachedEndpointLifecycle(t *testing.T) {
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+	}{
+		{"query", http.MethodPost, "/api/query",
+			map[string]string{"stmt": "SELECT COUNT(*) FROM taxi, nbhd GROUP BY id"}},
+		{"mapview", http.MethodPost, "/api/mapview",
+			map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}},
+		{"heatmap", http.MethodPost, "/api/heatmap",
+			map[string]any{"dataset": "taxi", "w": 16}},
+		{"delta", http.MethodPost, "/api/delta",
+			map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count",
+				"a": map[string]int64{"start": 0, "end": 4 * 3600},
+				"b": map[string]int64{"start": 4 * 3600, "end": 8 * 3600}}},
+		{"tile", http.MethodGet, "/api/tile/0/0/0.png?dataset=taxi", nil},
+		{"choropleth", http.MethodGet,
+			"/api/render/choropleth.png?dataset=taxi&layer=nbhd&agg=count&w=64", nil},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, f := testServer(t)
+			do := func() *httptest.ResponseRecorder {
+				rec := doJSON(t, s, tc.method, tc.path, tc.body)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+				}
+				return rec
+			}
+			before := cacheStats(t, s)
+			first := do()
+			if got := first.Header().Get("X-Urbane-Cache"); got != "miss" {
+				t.Fatalf("first request outcome = %q, want miss", got)
+			}
+			second := do()
+			if got := second.Header().Get("X-Urbane-Cache"); got != "hit" {
+				t.Fatalf("second request outcome = %q, want hit", got)
+			}
+			if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+				t.Fatal("cached body differs from computed body")
+			}
+			mid := cacheStats(t, s)
+			if mid.Hits != before.Hits+1 {
+				t.Errorf("hits = %d, want %d", mid.Hits, before.Hits+1)
+			}
+			if mid.Misses != before.Misses+1 {
+				t.Errorf("misses = %d, want %d", mid.Misses, before.Misses+1)
+			}
+
+			invalidateViaCatalog(t, f, fmt.Sprintf("scratch-%d", i))
+			third := do()
+			if got := third.Header().Get("X-Urbane-Cache"); got != "miss" {
+				t.Fatalf("post-invalidation outcome = %q, want miss", got)
+			}
+			// The queried data didn't change, so the recompute matches.
+			if !bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+				t.Fatal("recomputed body diverged after invalidation")
+			}
+			after := cacheStats(t, s)
+			if after.Generation <= mid.Generation {
+				t.Errorf("generation did not advance: %d -> %d", mid.Generation, after.Generation)
+			}
+		})
+	}
+}
+
+// TestEquivalentRequestsShareEntry: canonicalization means filter order,
+// statement formatting, and whitespace do not fragment the cache.
+func TestEquivalentRequestsShareEntry(t *testing.T) {
+	s, _ := testServer(t)
+	a := map[string]any{
+		"dataset": "taxi", "layer": "nbhd", "agg": "count",
+		"filters": []map[string]any{
+			{"attr": "fare", "min": 5, "max": 30},
+			{"attr": "fare", "min": 0, "max": 10},
+		},
+	}
+	b := map[string]any{
+		"dataset": "taxi", "layer": "nbhd", "agg": "count",
+		"filters": []map[string]any{
+			{"attr": "fare", "min": 0, "max": 10},
+			{"attr": "fare", "min": 5, "max": 30},
+		},
+	}
+	r1 := doJSON(t, s, http.MethodPost, "/api/mapview", a)
+	r2 := doJSON(t, s, http.MethodPost, "/api/mapview", b)
+	if r1.Code != http.StatusOK || r2.Code != http.StatusOK {
+		t.Fatalf("statuses = %d, %d: %s", r1.Code, r2.Code, r1.Body)
+	}
+	if got := r2.Header().Get("X-Urbane-Cache"); got != "hit" {
+		t.Errorf("reordered filters outcome = %q, want hit", got)
+	}
+	if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Error("reordered filters served different bodies")
+	}
+
+	q1 := doJSON(t, s, http.MethodPost, "/api/query",
+		map[string]string{"stmt": "SELECT COUNT(*) FROM taxi, nbhd GROUP BY id"})
+	q2 := doJSON(t, s, http.MethodPost, "/api/query",
+		map[string]string{"stmt": "select   count(*)   from taxi , nbhd"})
+	if q1.Code != http.StatusOK || q2.Code != http.StatusOK {
+		t.Fatalf("query statuses = %d, %d", q1.Code, q2.Code)
+	}
+	if got := q2.Header().Get("X-Urbane-Cache"); got != "hit" {
+		t.Errorf("reformatted statement outcome = %q, want hit", got)
+	}
+}
+
+// TestTimeSnapUnifiesRaggedWindows: with a snap granularity configured,
+// slider-style ragged windows quantize onto shared cache entries.
+func TestTimeSnapUnifiesRaggedWindows(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	s := NewServer(f, WithTimeSnap(3600))
+	mk := func(start, end int64) map[string]any {
+		return map[string]any{
+			"dataset": "taxi", "layer": "nbhd", "agg": "count",
+			"time": map[string]int64{"start": start, "end": end},
+		}
+	}
+	r1 := doJSON(t, s, http.MethodPost, "/api/mapview", mk(13, 3590))
+	r2 := doJSON(t, s, http.MethodPost, "/api/mapview", mk(41, 3577))
+	if r1.Code != 200 || r2.Code != 200 {
+		t.Fatalf("statuses = %d, %d: %s", r1.Code, r2.Code, r1.Body)
+	}
+	if got := r2.Header().Get("X-Urbane-Cache"); got != "hit" {
+		t.Errorf("snapped windows outcome = %q, want hit", got)
+	}
+	if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+		t.Error("snapped windows served different bodies")
+	}
+	// A window in the next bucket must not collide.
+	r3 := doJSON(t, s, http.MethodPost, "/api/mapview", mk(3601, 7200))
+	if got := r3.Header().Get("X-Urbane-Cache"); got != "miss" {
+		t.Errorf("distinct bucket outcome = %q, want miss", got)
+	}
+}
+
+// TestCacheDisabled: WithoutCache bypasses everything and reports so.
+func TestCacheDisabled(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	s := NewServer(f, WithoutCache())
+	body := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	for i := 0; i < 2; i++ {
+		rec := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		if got := rec.Header().Get("X-Urbane-Cache"); got != "bypass" {
+			t.Errorf("outcome = %q, want bypass", got)
+		}
+	}
+	st := cacheStats(t, s)
+	if st.Enabled {
+		t.Error("cachestats should report disabled")
+	}
+	if rec := doJSON(t, s, http.MethodPost, "/api/cachestats", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST cachestats status = %d", rec.Code)
+	}
+}
+
+// TestCacheStatsFields sanity-checks the counters the endpoint exposes.
+func TestCacheStatsFields(t *testing.T) {
+	s, _ := testServer(t)
+	st := cacheStats(t, s)
+	if !st.Enabled || st.Capacity != DefaultCacheBytes || st.TimeSnap != 1 {
+		t.Errorf("defaults = %+v", st)
+	}
+	body := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	st = cacheStats(t, s)
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes == 0 {
+		t.Errorf("after miss+hit: %+v", st)
+	}
+}
+
+// randomRequest draws one request from a small domain so that randomized
+// sequences repeat shapes (exercising hits) while still mixing endpoints,
+// aggregates, filters, and windows.
+func randomRequest(rng *rand.Rand) (method, path string, body any) {
+	datasets := []string{"taxi", "311"}
+	layers := []string{"nbhd", "grid"}
+	windows := []map[string]int64{
+		{"start": 0, "end": 4 * 3600},
+		{"start": 4 * 3600, "end": 8 * 3600},
+		{"start": 0, "end": 8 * 3600},
+	}
+	filterPool := []map[string]any{
+		{"attr": "fare", "min": 0, "max": 10},
+		{"attr": "fare", "min": 5, "max": 30},
+		{"attr": "fare", "min": 10, "max": 40},
+	}
+	switch rng.Intn(5) {
+	case 0: // query
+		stmts := []string{
+			"SELECT COUNT(*) FROM taxi, nbhd GROUP BY id",
+			"SELECT AVG(fare) FROM taxi, nbhd",
+			"SELECT SUM(fare) FROM taxi, grid WHERE fare BETWEEN 5 AND 30",
+			"SELECT COUNT(*) FROM 311, nbhd WHERE time BETWEEN 0 AND 14400",
+		}
+		return http.MethodPost, "/api/query", map[string]string{"stmt": stmts[rng.Intn(len(stmts))]}
+	case 1: // mapview
+		b := map[string]any{
+			"dataset": datasets[rng.Intn(len(datasets))],
+			"layer":   layers[rng.Intn(len(layers))],
+			"agg":     []string{"count", "sum", "avg"}[rng.Intn(3)],
+		}
+		if b["agg"] != "count" {
+			b["attr"] = "fare"
+		}
+		if rng.Intn(2) == 0 {
+			b["time"] = windows[rng.Intn(len(windows))]
+		}
+		n := rng.Intn(3)
+		filters := make([]map[string]any, 0, n)
+		for _, j := range rng.Perm(len(filterPool))[:n] {
+			filters = append(filters, filterPool[j])
+		}
+		if len(filters) > 0 {
+			b["filters"] = filters
+		}
+		return http.MethodPost, "/api/mapview", b
+	case 2: // heatmap
+		return http.MethodPost, "/api/heatmap", map[string]any{
+			"dataset": datasets[rng.Intn(len(datasets))],
+			"w":       []int{8, 16}[rng.Intn(2)],
+		}
+	case 3: // delta
+		a, b := windows[rng.Intn(2)], windows[rng.Intn(2)]
+		return http.MethodPost, "/api/delta", map[string]any{
+			"dataset": datasets[rng.Intn(len(datasets))],
+			"layer":   layers[rng.Intn(len(layers))],
+			"agg":     "count",
+			"a":       a, "b": b, // identical windows are a 400 on both servers
+		}
+	default: // tile
+		z := rng.Intn(3)
+		return http.MethodGet, fmt.Sprintf("/api/tile/%d/%d/%d.png?dataset=%s",
+			z, rng.Intn(z+1), rng.Intn(z+1), datasets[rng.Intn(len(datasets))]), nil
+	}
+}
+
+// TestCacheOnOffResponsesByteIdentical is the end-to-end correctness
+// property: over randomized query sequences, a cached server and an
+// uncached server sharing the same framework return byte-identical
+// bodies and statuses for every request. Caching is an optimization,
+// never a semantic change.
+func TestCacheOnOffResponsesByteIdentical(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	cached := NewServer(f)
+	uncached := NewServer(f, WithoutCache())
+	for _, seed := range []int64{1, 42, 2009} {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 40; i++ {
+			method, path, body := randomRequest(rng)
+			ra := doJSON(t, cached, method, path, body)
+			rb := doJSON(t, uncached, method, path, body)
+			if ra.Code != rb.Code {
+				t.Fatalf("seed %d req %d %s %s: status %d (cached) vs %d (uncached)",
+					seed, i, method, path, ra.Code, rb.Code)
+			}
+			if !bytes.Equal(ra.Body.Bytes(), rb.Body.Bytes()) {
+				t.Fatalf("seed %d req %d %s %s (%v): bodies diverged\ncached:   %.200s\nuncached: %.200s",
+					seed, i, method, path, body, ra.Body, rb.Body)
+			}
+		}
+	}
+	// The cached server actually cached: some of the repeats were hits.
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Error("randomized sequence produced no cache hits; domain too wide?")
+	}
+}
+
+// TestConcurrentCachedRequests hammers one cached server from many
+// goroutines with a mix of identical and distinct requests plus a
+// mid-flight invalidation; every response must match the serial answer.
+// Run under -race via the stress target.
+func TestConcurrentCachedRequests(t *testing.T) {
+	s, f := testServer(t)
+	body := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	want := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if want.Code != http.StatusOK {
+		t.Fatalf("status = %d", want.Code)
+	}
+	const workers = 16
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < 10; i++ {
+				if w == 3 && i == 5 {
+					invalidateViaCatalog(t, f, fmt.Sprintf("mid-flight-%d", w))
+				}
+				rec := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), want.Body.Bytes()) {
+					errs <- fmt.Errorf("concurrent cached response diverged")
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTileETagRevalidation: tiles carry a strong ETag derived from the
+// cache key and generation; If-None-Match revalidates to 304 without
+// recomputing, and a catalog change rolls the validator.
+func TestTileETagRevalidation(t *testing.T) {
+	s, f := testServer(t)
+	const path = "/api/tile/0/0/0.png?dataset=taxi"
+	first := doJSON(t, s, http.MethodGet, path, nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body)
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" || first.Header().Get("Cache-Control") == "" {
+		t.Fatalf("missing validators: ETag=%q Cache-Control=%q",
+			etag, first.Header().Get("Cache-Control"))
+	}
+
+	misses0 := s.CacheStats().Misses
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("304 carried a %d-byte body", rec.Body.Len())
+	}
+	if got := s.CacheStats().Misses; got != misses0 {
+		t.Errorf("304 recomputed: misses %d -> %d", misses0, got)
+	}
+
+	// A stale validator revalidates to a full 200.
+	req = httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set("If-None-Match", `"deadbeef-0"`)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale validator status = %d, want 200", rec.Code)
+	}
+
+	// Catalog change rolls the ETag, so old validators stop matching.
+	invalidateViaCatalog(t, f, "etag-roll")
+	req = httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-invalidation status = %d, want 200", rec.Code)
+	}
+	if newTag := rec.Header().Get("ETag"); newTag == etag || newTag == "" {
+		t.Errorf("ETag did not roll: %q -> %q", etag, newTag)
+	}
+	// Same bytes either way — the data didn't change.
+	if !bytes.Equal(first.Body.Bytes(), rec.Body.Bytes()) {
+		t.Error("tile bytes diverged across generations")
+	}
+}
+
+// TestChoroplethETag: the PNG rendering path shares the same revalidation
+// machinery.
+func TestChoroplethETag(t *testing.T) {
+	s, _ := testServer(t)
+	const path = "/api/render/choropleth.png?dataset=taxi&layer=nbhd&agg=count&w=64"
+	first := doJSON(t, s, http.MethodGet, path, nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body)
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set("If-None-Match", "W/"+etag) // weak form matches too
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", rec.Code)
+	}
+}
+
+// TestCoalescedHeaderSurfaces: concurrent identical server requests share
+// one compute, and at least one response reports it was coalesced or
+// served from cache while the flight was hot. (The exact split is timing
+// dependent; exactly-one-compute is proven deterministically in
+// internal/qcache.)
+func TestCoalescedHeaderSurfaces(t *testing.T) {
+	s, _ := testServer(t)
+	const clients = 8
+	body := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count",
+		"time": map[string]int64{"start": 0, "end": 3 * 3600}}
+	outcomes := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			rec := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+			outcomes <- rec.Header().Get("X-Urbane-Cache")
+		}()
+	}
+	misses := 0
+	for i := 0; i < clients; i++ {
+		switch <-outcomes {
+		case "miss":
+			misses++
+		case "hit", "coalesced":
+		default:
+			t.Error("unexpected outcome header")
+		}
+	}
+	if misses != 1 {
+		t.Errorf("computes = %d, want exactly 1 across concurrent identical requests", misses)
+	}
+	if st := s.CacheStats(); st.Misses != 1 {
+		t.Errorf("stats.misses = %d, want 1", st.Misses)
+	}
+}
+
+// qcacheStatsZero guards the embedded-stats JSON shape the endpoint
+// promises in the README.
+func TestCacheStatsJSONShape(t *testing.T) {
+	b, err := json.Marshal(cacheStatsResponse{Enabled: true, TimeSnap: 1, Stats: qcache.Stats{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"enabled", "timeSnap", "hits", "misses",
+		"evictions", "coalesced", "entries", "bytes", "capacityBytes", "generation"} {
+		if !bytes.Contains(b, []byte(`"`+field+`"`)) {
+			t.Errorf("cachestats JSON missing %q: %s", field, b)
+		}
+	}
+}

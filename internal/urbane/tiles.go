@@ -41,6 +41,10 @@ func (f *Framework) RenderChoropleth(req MapViewRequest, width int) ([]byte, err
 //
 //	GET /api/render/choropleth.png?dataset=taxi&layer=neighborhoods
 //	    &agg=count[&attr=fare][&w=800]
+//
+// Rendered images are served through the query-result cache and carry a
+// strong ETag (cache key + generation), so revalidating clients get 304s
+// without recomputing the aggregation.
 func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -59,16 +63,13 @@ func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	png, err := s.f.RenderChoropleth(MapViewRequest{
+	req := MapViewRequest{
 		Dataset: q.Get("dataset"), Layer: q.Get("layer"),
 		Agg: agg, Attr: q.Get("attr"),
-	}, width)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
 	}
-	w.Header().Set("Content-Type", "image/png")
-	_, _ = w.Write(png)
+	s.serveCachedImage(w, r, choroplethKey(req, width), "image/png", func() ([]byte, error) {
+		return s.f.RenderChoropleth(req, width)
+	})
 }
 
 // handleTile serves slippy-map density tiles:
@@ -76,7 +77,9 @@ func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
 //	GET /api/tile/{z}/{x}/{y}.png?dataset=taxi
 //
 // Each tile renders the data set's point density over the tile's mercator
-// extent at 256x256 — composable over any web base map.
+// extent at 256x256 — composable over any web base map. Tiles are served
+// through the query-result cache keyed by z/x/y + the query signature and
+// revalidate via strong ETags (304 on If-None-Match).
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -97,22 +100,26 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tile := mercator.Tile{Z: z, X: x, Y: y}
-	hm, err := s.f.Heatmap(HeatmapRequest{
-		Dataset: r.URL.Query().Get("dataset"),
-		W:       256, H: 256,
-		Bounds: tile.BBox(),
+	dataset := r.URL.Query().Get("dataset")
+	s.serveCachedImage(w, r, tileKey(z, x, y, dataset), "image/png", func() ([]byte, error) {
+		hm, err := s.f.Heatmap(HeatmapRequest{
+			Dataset: dataset,
+			W:       256, H: 256,
+			Bounds: tile.BBox(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		img, err := render.Density(hm.Counts, hm.W, hm.H, render.HeatRamp)
+		if err != nil {
+			return nil, internalErr(err)
+		}
+		var buf bytes.Buffer
+		if err := render.EncodePNG(&buf, img); err != nil {
+			return nil, internalErr(err)
+		}
+		return buf.Bytes(), nil
 	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	img, err := render.Density(hm.Counts, hm.W, hm.H, render.HeatRamp)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", "image/png")
-	_ = render.EncodePNG(w, img)
 }
 
 // TileDensity returns the density counts for one slippy tile — the
