@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench fuzz stress verify
+.PHONY: build test race vet lint bench fuzz stress stats-smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ fuzz:
 	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadGeoJSON$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
+
+# End-to-end deadline smoke test: boot the real server with a 1ms
+# -query-timeout, require a 504 on /api/mapview and a nonzero timeout
+# counter (with zero live render resources) in GET /api/stats.
+stats-smoke:
+	$(GO) test -count=1 -run '^TestStatsSmoke$$' -v ./cmd/urbane-server
 
 # Concurrency suite under the race detector: cache stress, coalescing, and
 # the cache-on/cache-off byte-identical property over the HTTP handlers.

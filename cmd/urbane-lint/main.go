@@ -21,6 +21,8 @@
 //	              WaitGroup copied by value
 //	floataccum  — naive float += reduction loops (suggests internal/fsum)
 //	handlerlock — HTTP handlers touching mutex-guarded state lock-free
+//	ctxflow     — exported query-path functions spawning goroutines or
+//	              looping over draw calls without a context.Context
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/floataccum"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/handlerlock"
@@ -42,6 +45,7 @@ var all = []*framework.Analyzer{
 	waitgroup.Analyzer,
 	floataccum.Analyzer,
 	handlerlock.Analyzer,
+	ctxflow.Analyzer,
 }
 
 func main() {

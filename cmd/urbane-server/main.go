@@ -14,10 +14,16 @@
 //	POST /api/explore    — multi-data-set time series
 //	POST /api/rank       — neighborhood similarity ranking
 //	GET  /api/cachestats — query-result cache counters
+//	GET  /api/stats      — per-endpoint latency histograms and outcome counters
 //
 // The heavy read endpoints are served through a sharded query-result
 // cache with request coalescing (-cache-bytes to size it, 0 to disable;
 // -time-snap to quantize time filters to the workload's bucket size).
+//
+// Every request runs under a context carrying the -query-timeout deadline;
+// the join kernels observe it between point batches (-point-batch sets the
+// granularity), so an exhausted deadline aborts the render mid-join and
+// returns 504. Per-stage timings travel in the X-Urbane-Trace header.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests (up to a 10s grace period), and exits cleanly.
@@ -64,6 +70,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	accurate := fs.Bool("accurate", true, "use the exact hybrid raster join")
 	cacheBytes := fs.Int64("cache-bytes", urbane.DefaultCacheBytes, "query-result cache capacity in bytes (0 disables)")
 	timeSnap := fs.Int64("time-snap", 1, "snap time filters outward to this granularity in seconds (1 = off)")
+	queryTimeout := fs.Duration("query-timeout", 0, "per-request query deadline; exceeded queries abort mid-join and return 504 (0 = unbounded)")
+	pointBatch := fs.Int("point-batch", 0, "max point vertices per draw call — the cancellation granularity of the point pass (0 = one draw)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +89,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	if *accurate {
 		mode = core.Accurate
 	}
-	f := urbane.New(core.NewRasterJoin(core.WithMode(mode), core.WithResolution(*resolution)))
+	f := urbane.New(core.NewRasterJoin(core.WithMode(mode), core.WithResolution(*resolution),
+		core.WithPointBatch(*pointBatch)))
 	for _, err := range []error{
 		f.AddPointSet(scene.Taxi),
 		f.AddPointSet(aux[0]),
@@ -106,7 +115,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	}
 
 	var handler http.Handler = urbane.NewServer(f,
-		urbane.WithCache(*cacheBytes), urbane.WithTimeSnap(*timeSnap))
+		urbane.WithCache(*cacheBytes), urbane.WithTimeSnap(*timeSnap),
+		urbane.WithQueryTimeout(*queryTimeout))
 	if wrap != nil {
 		handler = wrap(handler)
 	}

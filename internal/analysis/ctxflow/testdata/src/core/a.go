@@ -1,0 +1,31 @@
+// Fixture: a miniature of the query path's render layer. The package path
+// ends in /core, so the ctxflow contract applies.
+package core
+
+// canvas stands in for gpu.Canvas; draw calls are matched by method name.
+type canvas struct{}
+
+func (canvas) DrawPoints(n int, pos func(int) (float64, float64), shade func(int, int, int)) {}
+func (canvas) DrawPolygon(id int, shade func(int, int))                                     {}
+
+// Fan fans out workers with no way to stop them.
+func Fan(n int) { // want "exported function Fan spawns goroutines but accepts no context.Context"
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+// Stream submits point batches with no way to abandon the pass.
+func Stream(c canvas, lo, hi, batch int) { // want "exported function Stream loops over draw calls but accepts no context.Context"
+	for s := lo; s < hi; s += batch {
+		c.DrawPoints(batch, nil, nil)
+	}
+}
+
+// RangeRender hides the draw call inside a closure; still flagged.
+func RangeRender(c canvas, regions []int) { // want "exported function RangeRender loops over draw calls"
+	for range regions {
+		render := func() { c.DrawPolygon(0, nil) }
+		render()
+	}
+}

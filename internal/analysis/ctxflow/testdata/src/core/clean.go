@@ -1,0 +1,46 @@
+package core
+
+import "context"
+
+// FanContext is the compliant form of Fan: the ctx parameter satisfies the
+// contract (the analyzer does not prove the ctx is consulted — that is what
+// the cancellation tests are for).
+func FanContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		go func() {}()
+	}
+}
+
+// Fan2 is the thin-wrapper shape the query path uses: delegating involves
+// neither a goroutine nor a draw loop, so wrappers stay clean.
+func Fan2(n int) {
+	FanContext(context.Background(), n)
+}
+
+// StreamContext draws under a context.
+func StreamContext(ctx context.Context, c canvas, lo, hi, batch int) {
+	for s := lo; s < hi && ctx.Err() == nil; s += batch {
+		c.DrawPoints(batch, nil, nil)
+	}
+}
+
+// Once submits a single draw — no loop, no flag.
+func Once(c canvas) {
+	c.DrawPoints(1, nil, nil)
+}
+
+// fanOut is unexported; internal helpers inherit their caller's context
+// discipline.
+func fanOut(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+//lint:ignore ctxflow fixture proves suppression works for grandfathered APIs
+func Legacy(n int) {
+	go fanOut(n)
+}

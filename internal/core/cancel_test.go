@@ -1,0 +1,206 @@
+package core_test
+
+// Cancellation hygiene: an aborted query must return ctx.Err() promptly,
+// leave no goroutines behind, and hand every canvas and pooled texture back
+// to the device so the next query finds a fully reusable pool. These tests
+// run under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/trace"
+)
+
+// awaitGoroutines polls until the process goroutine count settles at or
+// below want (plus a small scheduler tolerance).
+func awaitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= want+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, want <= %d", runtime.NumGoroutine(), want+2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func requireDevDrained(t *testing.T, dev *gpu.Device, context string) {
+	t.Helper()
+	if n := dev.LiveCanvases(); n != 0 {
+		t.Fatalf("%s: %d canvases still live", context, n)
+	}
+	if n := dev.LiveTextures(); n != 0 {
+		t.Fatalf("%s: %d textures still live", context, n)
+	}
+}
+
+// TestJoinContextCancelMidJoin cancels an accurate raster join after its
+// first point batch and verifies the abort contract end to end: the join
+// returns the context's error, no worker goroutines outlive it, the device
+// pool is drained, and an identical join on the same device afterwards is
+// still exact.
+func TestJoinContextCancelMidJoin(t *testing.T) {
+	ps, rs := scene(200_000, 16, 211)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithMode(core.Accurate),
+		core.WithResolution(1024), core.WithPointBatch(512))
+
+	baseline := runtime.NumGoroutine()
+
+	// The trace's batch counter is the observable that the point pass is
+	// underway — cancel lands mid-pass, not before the join starts.
+	tr := trace.New("test")
+	ctx, cancel := context.WithCancel(trace.NewContext(context.Background(), tr))
+	defer cancel()
+
+	type joined struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan joined, 1)
+	go func() {
+		res, err := rj.JoinContext(ctx, req)
+		done <- joined{res, err}
+	}()
+
+	waitBatch := time.Now().Add(5 * time.Second)
+	for tr.Counters()["batches"] == 0 {
+		if time.Now().After(waitBatch) {
+			t.Fatal("join never submitted a point batch")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+
+	j := <-done
+	if !errors.Is(j.err, context.Canceled) {
+		t.Fatalf("canceled join returned err=%v, want context.Canceled", j.err)
+	}
+	if j.res != nil {
+		t.Fatalf("canceled join returned a result")
+	}
+	awaitGoroutines(t, baseline)
+	requireDevDrained(t, dev, "after cancel")
+
+	// The same device must now serve a full join, and exactly: compare with
+	// a join on a fresh device.
+	got, err := rj.JoinContext(context.Background(), req)
+	if err != nil {
+		t.Fatalf("join after cancel: %v", err)
+	}
+	want, err := core.NewRasterJoin(core.WithMode(core.Accurate),
+		core.WithResolution(1024)).Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsExactlyEqual(t, got, want, "reused device after cancel")
+	requireDevDrained(t, dev, "after reuse")
+}
+
+// TestJoinContextPreExpiredDeadline: a deadline that has already passed
+// aborts before any tile renders and still leaves the pool drained.
+func TestJoinContextPreExpiredDeadline(t *testing.T) {
+	ps, rs := scene(2_000, 6, 223)
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(256))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := rj.JoinContext(ctx, core.Request{Points: ps, Regions: rs, Agg: core.Count})
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got (%v, %v), want (nil, context.DeadlineExceeded)", res, err)
+	}
+	requireDevDrained(t, dev, "after expired deadline")
+}
+
+// TestMultiJoinContextCancelReleasesResources: the multi-aggregate join's
+// per-spec textures all return to the pool on abort.
+func TestMultiJoinContextCancelReleasesResources(t *testing.T) {
+	ps, rs := scene(50_000, 12, 227)
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(512),
+		core.WithPointBatch(512))
+	specs := []core.AggSpec{
+		{Agg: core.Count},
+		{Agg: core.Sum, Attr: "v"},
+		{Agg: core.Avg, Attr: "v"},
+	}
+	tr := trace.New("test")
+	ctx, cancel := context.WithCancel(trace.NewContext(context.Background(), tr))
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := rj.MultiJoinContext(ctx, core.Request{Points: ps, Regions: rs}, specs)
+		done <- err
+	}()
+	waitBatch := time.Now().Add(5 * time.Second)
+	for tr.Counters()["batches"] == 0 {
+		if time.Now().After(waitBatch) {
+			t.Fatal("multi join never submitted a point batch")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled multi join returned %v, want context.Canceled", err)
+	}
+	requireDevDrained(t, dev, "after multi-join cancel")
+
+	// Pool must still serve a complete multi join.
+	if _, err := rj.MultiJoin(core.Request{Points: ps, Regions: rs}, specs); err != nil {
+		t.Fatalf("multi join after cancel: %v", err)
+	}
+	requireDevDrained(t, dev, "after multi-join reuse")
+}
+
+// TestStreamJoinAbortOnCancel: a batch canceled mid-draw aborts the stream
+// (partial blends must not silently undercount), releases its resources,
+// and rejects further use; Abort stays idempotent.
+func TestStreamJoinAbortOnCancel(t *testing.T) {
+	ps, rs := scene(10_000, 8, 229)
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(256),
+		core.WithPointBatch(128))
+	s, err := rj.NewStream(rs, core.Count, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AddContext(ctx, ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled AddContext returned %v, want context.Canceled", err)
+	}
+	requireDevDrained(t, dev, "after stream abort")
+	if err := s.Add(ps); err == nil {
+		t.Fatal("Add after abort succeeded; aborted stream must reject batches")
+	}
+	if _, err := s.Finalize(); err == nil {
+		t.Fatal("Finalize after abort succeeded")
+	}
+	s.Abort() // idempotent
+	requireDevDrained(t, dev, "after double abort")
+}
+
+// TestSeriesJoinContextCancel: the per-bin series join frees its canvas and
+// textures when canceled between bins.
+func TestSeriesJoinContextCancel(t *testing.T) {
+	ps, rs := scene(20_000, 8, 233)
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(256))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	if _, err := rj.SeriesJoinContext(ctx, req, 0, int64(ps.Len()), 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled series join returned %v, want context.Canceled", err)
+	}
+	requireDevDrained(t, dev, "after series cancel")
+}

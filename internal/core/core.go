@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -235,6 +236,29 @@ func (r *Result) TotalCount() int64 {
 type Joiner interface {
 	Name() string
 	Join(req Request) (*Result, error)
+}
+
+// ContextJoiner is implemented by joiners that honor request-scoped
+// cancellation and deadlines. RasterJoin checks the context between point
+// batches and between region claims, so a canceled request aborts within a
+// couple of batch intervals instead of running to completion.
+type ContextJoiner interface {
+	Joiner
+	JoinContext(ctx context.Context, req Request) (*Result, error)
+}
+
+// JoinContext runs the request on j under ctx. Joiners that implement
+// ContextJoiner are canceled mid-flight; for the rest (cube, index — both
+// fast enough that mid-flight cancellation buys nothing) the context is
+// checked once up front so an already-dead request never starts.
+func JoinContext(ctx context.Context, j Joiner, req Request) (*Result, error) {
+	if cj, ok := j.(ContextJoiner); ok {
+		return cj.JoinContext(ctx, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return j.Join(req)
 }
 
 // PointPredicate compiles the request's attribute filters into a single

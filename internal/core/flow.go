@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/raster"
+	"repro/internal/trace"
 )
 
 // FlowResult is a sparse origin-destination matrix over region positions:
@@ -86,6 +88,13 @@ func (f *FlowResult) Top(n int) []Flow {
 //
 // dxAttr/dyAttr name the destination coordinate columns.
 func (r *RasterJoin) FlowJoin(req Request, dxAttr, dyAttr string) (*FlowResult, error) {
+	return r.FlowJoinContext(context.Background(), req, dxAttr, dyAttr)
+}
+
+// FlowJoinContext is FlowJoin under a request context: cancellation is
+// checked between ID-pass polygons and between OD-pass point batches, and
+// the canvas is released on every exit path.
+func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, dyAttr string) (*FlowResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,6 +122,7 @@ func (r *RasterJoin) FlowJoin(req Request, dxAttr, dyAttr string) (*FlowResult, 
 	if err != nil {
 		return nil, fmt.Errorf("core: flow join: %w (reduce the resolution)", err)
 	}
+	defer c.Release()
 	out.CanvasW, out.CanvasH = c.T.W, c.T.H
 	out.PixelSize = c.T.PixelWidth()
 
@@ -153,6 +163,9 @@ func (r *RasterJoin) FlowJoin(req Request, dxAttr, dyAttr string) (*FlowResult, 
 	}
 	regions := req.Regions.Regions
 	for k := range regions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		k32 := int32(k)
 		if scratch != nil {
 			for _, idx := range regionPixels[k] {
@@ -199,30 +212,48 @@ func (r *RasterJoin) FlowJoin(req Request, dxAttr, dyAttr string) (*FlowResult, 
 	// OD pass: resolve both ends of every point. Destinations are mapped
 	// manually (they are attribute payloads, not the vertex position the
 	// device culls on). Points whose origin the canvas culls never reach
-	// the shader; they are outside every region and count as dropped.
+	// the shader; they are outside every region and count as dropped. The
+	// pass streams in pointBatch-sized draws, checking cancellation between
+	// batches like the other joins.
 	ps := req.Points
+	batch := r.pointBatch
+	if batch <= 0 {
+		batch = hi - lo
+	}
+	tr := trace.FromContext(ctx)
 	shaded := int64(0)
-	c.DrawPoints(hi-lo,
-		func(j int) (float64, float64) { i := lo + j; return ps.X[i], ps.Y[i] },
-		func(px, py, j int) {
-			shaded++
-			i := lo + j
-			if pred != nil && !pred(i) {
-				out.Filtered++
-				return
-			}
-			o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
-			if o < 0 {
-				out.Dropped++
-				return
-			}
-			d := locate(geom.Point{X: dx[i], Y: dy[i]})
-			if d < 0 {
-				out.Dropped++
-				return
-			}
-			out.Counts[int64(o)*int64(nr)+int64(d)]++
-		})
+	for s := lo; s < hi; s += batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e := s + batch
+		if e > hi {
+			e = hi
+		}
+		base := s
+		c.DrawPoints(e-s,
+			func(j int) (float64, float64) { i := base + j; return ps.X[i], ps.Y[i] },
+			func(px, py, j int) {
+				shaded++
+				i := base + j
+				if pred != nil && !pred(i) {
+					out.Filtered++
+					return
+				}
+				o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
+				if o < 0 {
+					out.Dropped++
+					return
+				}
+				d := locate(geom.Point{X: dx[i], Y: dy[i]})
+				if d < 0 {
+					out.Dropped++
+					return
+				}
+				out.Counts[int64(o)*int64(nr)+int64(d)]++
+			})
+		tr.Count("batches", 1)
+	}
 	out.Dropped += int64(hi-lo) - shaded
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,13 @@ type AggSpec struct {
 // not exist polygons-first) and supports both Approximate and Accurate
 // modes, with tiling.
 func (r *RasterJoin) MultiJoin(req Request, specs []AggSpec) ([]*Result, error) {
+	return r.MultiJoinContext(context.Background(), req, specs)
+}
+
+// MultiJoinContext is MultiJoin under a request context, with the same
+// cancellation granularity as JoinContext: between point batches, between
+// region claims, and between canvas tiles.
+func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []AggSpec) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: MultiJoin needs at least one spec")
 	}
@@ -97,11 +105,13 @@ func (r *RasterJoin) MultiJoin(req Request, specs []AggSpec) ([]*Result, error) 
 	}
 
 	err = r.dev.Tiles(full, func(c *gpu.Canvas, offX, offY int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for s := range results {
 			results[s].Tiles++
 		}
-		r.renderTileMulti(c, req, results, specs, attrs, preds, lo, hi, globalPred)
-		return nil
+		return r.renderTileMulti(ctx, c, req, results, specs, attrs, preds, lo, hi, globalPred)
 	})
 	if err != nil {
 		return nil, err
@@ -136,9 +146,9 @@ func specPredicate(req Request) (int, int, func(int) bool, error) {
 
 // renderTileMulti is renderTile generalized to several aggregates sharing
 // the point and polygon passes.
-func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Result,
+func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Request, results []*Result,
 	specs []AggSpec, attrs [][]float64, preds []func(int) bool,
-	lo, hi int, globalPred func(int) bool) {
+	lo, hi int, globalPred func(int) bool) error {
 
 	w, h := c.T.W, c.T.H
 	ps := req.Points
@@ -159,16 +169,23 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 		bins = make([][]int32, len(boundaryList))
 	}
 
-	// Point pass: one texture pair per spec.
+	// Point pass: one texture pair per spec, all pooled and released on
+	// every exit path.
 	countTex := make([]*gpu.Texture, len(specs))
 	sumTex := make([]*gpu.Texture, len(specs))
+	defer func() {
+		for s := range specs {
+			r.dev.ReleaseTexture(countTex[s])
+			r.dev.ReleaseTexture(sumTex[s])
+		}
+	}()
 	for s := range specs {
-		countTex[s] = gpu.NewTexture(w, h)
+		countTex[s] = r.dev.AcquireTexture(w, h)
 		if attrs[s] != nil {
-			sumTex[s] = gpu.NewTexture(w, h)
+			sumTex[s] = r.dev.AcquireTexture(w, h)
 		}
 	}
-	r.drawPointsBatched(c, lo, hi,
+	err := r.drawPointsBatched(ctx, c, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if globalPred != nil && !globalPred(i) {
@@ -191,6 +208,9 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 				}
 			}
 		})
+	if err != nil {
+		return err
+	}
 
 	// Polygon pass: one traversal per region accumulating every spec.
 	// Scratch boundary bitmaps are pooled across the parallel workers and
@@ -198,7 +218,7 @@ func (r *RasterJoin) renderTileMulti(c *gpu.Canvas, req Request, results []*Resu
 	var pool sync.Pool
 	pool.New = func() any { return raster.NewBitmap(w, h) }
 	regions := req.Regions.Regions
-	r.parallelRegions(len(regions), func(k int) {
+	return r.parallelRegionsCtx(ctx, len(regions), func(k int) {
 		poly := regions[k].Poly
 		cnt := make([]int64, len(specs))
 		sum := make([]float64, len(specs))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/geom"
@@ -90,8 +91,8 @@ func (s *idState) owners(i int32, fn func(k int32)) {
 //
 // Aggregation per region slot uses shard-local accumulators: the point
 // stream is the only writer, so a single pass owns all slots.
-func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats []RegionStat,
-	lo, hi int, pred func(int) bool, attr []float64) {
+func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
+	lo, hi int, pred func(int) bool, attr []float64) error {
 
 	w, h := c.T.W, c.T.H
 	ps := req.Points
@@ -133,6 +134,9 @@ func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats [
 		scratch = raster.NewBitmap(w, h)
 	}
 	for k := range regions {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		k32 := int32(k)
 		if scratch != nil {
 			for _, idx := range regionPixels[k] {
@@ -187,8 +191,9 @@ func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats [
 		go func(s, e int, part []RegionStat) {
 			defer wg.Done()
 			// Each shard issues its own (possibly batched) draw calls on
-			// the shared canvas.
-			r.drawPointsBatched(c, s, e,
+			// the shared canvas; cancellation surfaces as ctx.Err() after
+			// the barrier, so the per-shard error can be dropped here.
+			_ = r.drawPointsBatched(ctx, c, s, e,
 				func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 				func(px, py, i int) {
 					if pred != nil && !pred(i) {
@@ -225,9 +230,13 @@ func (r *RasterJoin) renderTilePolygonsFirst(c *gpu.Canvas, req Request, stats [
 		}(s, e, p.stats)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, p := range parts {
 		for k := range p.stats {
 			stats[k].Merge(p.stats[k])
 		}
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/raster"
+	"repro/internal/trace"
 )
 
 // Mode selects the raster join variant.
@@ -106,15 +108,21 @@ func WithPointBatch(n int) RJOption {
 
 // drawPointsBatched streams point indices [lo, hi) to the canvas in
 // batches of at most pointBatch vertices. pos and shader receive absolute
-// point indices.
-func (r *RasterJoin) drawPointsBatched(c *gpu.Canvas, lo, hi int,
-	pos func(i int) (float64, float64), shader func(px, py, i int)) {
+// point indices. The context is checked between batches — the batch size is
+// the cancellation granularity of the point pass — and each submitted batch
+// increments the request trace's "batches" counter.
+func (r *RasterJoin) drawPointsBatched(ctx context.Context, c *gpu.Canvas, lo, hi int,
+	pos func(i int) (float64, float64), shader func(px, py, i int)) error {
 
 	batch := r.pointBatch
 	if batch <= 0 {
 		batch = hi - lo
 	}
+	tr := trace.FromContext(ctx)
 	for s := lo; s < hi; s += batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e := s + batch
 		if e > hi {
 			e = hi
@@ -123,7 +131,9 @@ func (r *RasterJoin) drawPointsBatched(c *gpu.Canvas, lo, hi int,
 		c.DrawPoints(e-s,
 			func(j int) (float64, float64) { return pos(base + j) },
 			func(px, py, j int) { shader(px, py, base+j) })
+		tr.Count("batches", 1)
 	}
+	return nil
 }
 
 // NewRasterJoin returns a configured raster joiner.
@@ -162,6 +172,15 @@ func (r *RasterJoin) Device() *gpu.Device { return r.dev }
 
 // Join implements Joiner.
 func (r *RasterJoin) Join(req Request) (*Result, error) {
+	return r.JoinContext(context.Background(), req)
+}
+
+// JoinContext implements ContextJoiner: the join is abandoned with ctx.Err()
+// as soon as cancellation is observed — between point batches, between
+// region claims of the polygon pass, and between canvas tiles — and every
+// canvas and pooled texture is released before returning, so an aborted
+// query leaves the device pool fully reusable.
+func (r *RasterJoin) JoinContext(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,14 +206,17 @@ func (r *RasterJoin) Join(req Request) (*Result, error) {
 		attr = req.Points.Attr(req.Attr)
 	}
 
+	tr := trace.FromContext(ctx)
 	err = r.dev.Tiles(full, func(c *gpu.Canvas, offX, offY int) error {
-		res.Tiles++
-		if r.strategy == PolygonsFirst {
-			r.renderTilePolygonsFirst(c, req, res.Stats, lo, hi, pred, attr)
-		} else {
-			r.renderTile(c, req, res.Stats, lo, hi, pred, attr)
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		return nil
+		res.Tiles++
+		tr.Count("tiles", 1)
+		if r.strategy == PolygonsFirst {
+			return r.renderTilePolygonsFirst(ctx, c, req, res.Stats, lo, hi, pred, attr)
+		}
+		return r.renderTile(ctx, c, req, res.Stats, lo, hi, pred, attr)
 	})
 	if err != nil {
 		return nil, err
@@ -227,8 +249,8 @@ func (r *RasterJoin) fullTransform(window geom.BBox) raster.Transform {
 //  3. (Accurate only) Outline pass + exact pass — fragments in boundary
 //     pixels are excluded from pass 2 and instead resolved by exact
 //     point-in-polygon tests against the points binned in those pixels.
-func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
-	lo, hi int, pred func(int) bool, attr []float64) {
+func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
+	lo, hi int, pred func(int) bool, attr []float64) error {
 
 	w, h := c.T.W, c.T.H
 	ps := req.Points
@@ -254,20 +276,26 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 	}
 
 	// Pass 1: point textures. COUNT/SUM/AVG blend additively; MIN/MAX use
-	// the min/max blend equations over targets initialized to ±Inf.
-	countTex := gpu.NewTexture(w, h)
+	// the min/max blend equations over targets initialized to ±Inf. The
+	// textures come from the device pool and are released on every exit
+	// path, including cancellation.
+	countTex := r.dev.AcquireTexture(w, h)
+	defer r.dev.ReleaseTexture(countTex)
 	var sumTex, minTex, maxTex *gpu.Texture
 	switch req.Agg {
 	case Sum, Avg:
-		sumTex = gpu.NewTexture(w, h)
+		sumTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(sumTex)
 	case Min:
-		minTex = gpu.NewTexture(w, h)
+		minTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(minTex)
 		minTex.Fill(math.Inf(1))
 	case Max:
-		maxTex = gpu.NewTexture(w, h)
+		maxTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(maxTex)
 		maxTex.Fill(math.Inf(-1))
 	}
-	r.drawPointsBatched(c, lo, hi,
+	err := r.drawPointsBatched(ctx, c, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if pred != nil && !pred(i) {
@@ -288,6 +316,9 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 				}
 			}
 		})
+	if err != nil {
+		return err
+	}
 
 	// Passes 2 and 3: per-region accumulation, parallel across regions.
 	//
@@ -315,7 +346,7 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 			if r.mode == Accurate {
 				scratch = raster.NewBitmap(w, h)
 			}
-			for {
+			for ctx.Err() == nil {
 				k := int(next.Add(1)) - 1
 				if k >= len(regions) {
 					return
@@ -376,6 +407,7 @@ func (r *RasterJoin) renderTile(c *gpu.Canvas, req Request, stats []RegionStat,
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // outlinePass conservatively rasterizes every region's boundary, returning

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -74,6 +75,33 @@ func BenchmarkSeriesJoinVsPerBin(b *testing.B) {
 				if _, err := rj.Join(r); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}
+	})
+}
+
+// BenchmarkJoinContextOverhead measures what threading a context through
+// the join path costs when nothing cancels: the E1-style accurate join via
+// the legacy wrapper versus JoinContext with a background context. The two
+// run the identical kernel; the delta is the per-batch ctx.Err() checks
+// (recorded as E15 in EXPERIMENTS.md, acceptance < 1%).
+func BenchmarkJoinContextOverhead(b *testing.B) {
+	ps, rs := scene(100_000, 32, 111)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Count}
+	rj := core.NewRasterJoin(core.WithResolution(512), core.WithMode(core.Accurate),
+		core.WithPointBatch(4096))
+	b.Run("Join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rj.Join(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JoinContext", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := rj.JoinContext(ctx, req); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,13 @@ func (fc *FragmentCache) TotalFragments() int { return len(fc.frags) }
 // canvas. It requires the resolution-driven mode (no ε) and a canvas that
 // fits the device texture limit, since the cache indexes one pixel grid.
 func (r *RasterJoin) BuildFragmentCache(regions *data.RegionSet) (*FragmentCache, error) {
+	return r.BuildFragmentCacheContext(context.Background(), regions)
+}
+
+// BuildFragmentCacheContext is BuildFragmentCache under a request context:
+// the per-region rasterization loop checks cancellation between polygons
+// and the canvas is released on every exit path.
+func (r *RasterJoin) BuildFragmentCacheContext(ctx context.Context, regions *data.RegionSet) (*FragmentCache, error) {
 	if r.epsilon > 0 {
 		return nil, fmt.Errorf("core: fragment cache requires resolution mode, not ε")
 	}
@@ -52,8 +60,12 @@ func (r *RasterJoin) BuildFragmentCache(regions *data.RegionSet) (*FragmentCache
 	if err != nil {
 		return nil, fmt.Errorf("core: fragment cache: %w (reduce the resolution)", err)
 	}
+	defer c.Release()
 	fc := &FragmentCache{T: c.T, start: make([]int32, regions.Len()+1)}
 	for k := range regions.Regions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.DrawPolygon(regions.Regions[k].Poly, func(px, py int) {
 			fc.frags = append(fc.frags, int32(py*c.T.W+px))
 		})
@@ -84,6 +96,14 @@ func (s *SeriesResult) Value(b, k int, agg Agg) float64 { return s.Stats[b][k].V
 //
 // The request's own Time filter is ignored; the bin windows replace it.
 func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*SeriesResult, error) {
+	return r.SeriesJoinContext(context.Background(), req, start, end, bins)
+}
+
+// SeriesJoinContext is SeriesJoin under a request context: cancellation is
+// checked between time bins (each bin is one point pass plus one cached
+// polygon pass) and between region claims inside a bin, and the canvas and
+// pooled textures are released on every exit path.
+func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, end int64, bins int) (*SeriesResult, error) {
 	if bins < 1 || end <= start {
 		return nil, fmt.Errorf("core: series needs bins >= 1 and a non-empty range")
 	}
@@ -97,7 +117,7 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	fc, err := r.BuildFragmentCache(req.Regions)
+	fc, err := r.BuildFragmentCacheContext(ctx, req.Regions)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +152,7 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 	if err != nil {
 		return nil, err
 	}
+	defer c.Release()
 	w := fc.T.W
 
 	// Accurate mode: outline the regions once; exclude each region's own
@@ -157,13 +178,18 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 
 	ps := req.Points
 	sorted := timesSorted(ps.T)
-	countTex := gpu.NewTexture(fc.T.W, fc.T.H)
+	countTex := r.dev.AcquireTexture(fc.T.W, fc.T.H)
+	defer r.dev.ReleaseTexture(countTex)
 	var sumTex *gpu.Texture
 	if attr != nil {
-		sumTex = gpu.NewTexture(fc.T.W, fc.T.H)
+		sumTex = r.dev.AcquireTexture(fc.T.W, fc.T.H)
+		defer r.dev.ReleaseTexture(sumTex)
 	}
 
 	for b := 0; b < bins; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		binStart := out.BinStarts[b]
 		binEnd := binStart + width
 		if b == bins-1 {
@@ -207,7 +233,7 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 
 		// Polygon pass from the cache, parallel across regions.
 		stats := out.Stats[b]
-		r.parallelRegions(req.Regions.Len(), func(k int) {
+		err = r.parallelRegionsCtx(ctx, req.Regions.Len(), func(k int) {
 			var cnt int64
 			var sum float64
 			for _, idx := range interior.Fragments(k) {
@@ -238,6 +264,9 @@ func (r *RasterJoin) SeriesJoin(req Request, start, end int64, bins int) (*Serie
 			}
 			stats[k] = RegionStat{Count: cnt, Sum: sum}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -275,21 +304,31 @@ func timesSorted(t []int64) bool {
 }
 
 // parallelRegions fans region indices [0,n) across the joiner's workers.
+func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
+	_ = r.parallelRegionsCtx(context.Background(), n, fn)
+}
+
+// parallelRegionsCtx fans region indices [0,n) across the joiner's workers,
+// checking the context between region claims: a canceled request stops
+// handing out work and returns ctx.Err() once the in-flight regions drain.
 //
 // Race audit (sharedwrite-clean): k comes from an atomic cursor, so each
 // index is claimed by exactly one goroutine; fn must only write state
 // owned by region k (the callers write stats[k]), which partitions every
 // write. wg.Wait() sequences the caller's reads after all writes.
-func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
+func (r *RasterJoin) parallelRegionsCtx(ctx context.Context, n int, fn func(k int)) error {
 	workers := r.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for k := 0; k < n; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(k)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -297,7 +336,7 @@ func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				k := int(next.Add(1)) - 1
 				if k >= n {
 					return
@@ -307,4 +346,5 @@ func (r *RasterJoin) parallelRegions(n int, fn func(k int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,7 @@ type StreamJoin struct {
 	batches   int64
 	points    int64
 	finalized bool
+	released  bool
 }
 
 // obs is one retained boundary observation.
@@ -74,16 +76,16 @@ func (r *RasterJoin) NewStream(regions *data.RegionSet, agg Agg, attr string,
 		r: r, regions: regions, agg: agg, attr: attr,
 		filters: filters, time: tf,
 		canvas:   c,
-		countTex: gpu.NewTexture(c.T.W, c.T.H),
+		countTex: r.dev.AcquireTexture(c.T.W, c.T.H),
 	}
 	switch agg {
 	case Sum, Avg:
-		s.sumTex = gpu.NewTexture(c.T.W, c.T.H)
+		s.sumTex = r.dev.AcquireTexture(c.T.W, c.T.H)
 	case Min:
-		s.minTex = gpu.NewTexture(c.T.W, c.T.H)
+		s.minTex = r.dev.AcquireTexture(c.T.W, c.T.H)
 		s.minTex.Fill(math.Inf(1))
 	case Max:
-		s.maxTex = gpu.NewTexture(c.T.W, c.T.H)
+		s.maxTex = r.dev.AcquireTexture(c.T.W, c.T.H)
 		s.maxTex.Fill(math.Inf(-1))
 	}
 	if r.mode == Accurate {
@@ -105,6 +107,14 @@ func (r *RasterJoin) NewStream(regions *data.RegionSet, agg Agg, attr string,
 // carry the aggregate attribute and every filtered attribute; it is not
 // retained (beyond boundary observations in accurate mode).
 func (s *StreamJoin) Add(ps *data.PointSet) error {
+	return s.AddContext(context.Background(), ps)
+}
+
+// AddContext is Add under a request context. Cancellation mid-batch leaves
+// the textures with a partial batch blended in, so the stream is aborted —
+// its resources released and further use rejected — rather than left in a
+// state that would silently undercount.
+func (s *StreamJoin) AddContext(ctx context.Context, ps *data.PointSet) error {
 	if s.finalized {
 		return fmt.Errorf("core: stream already finalized")
 	}
@@ -122,7 +132,7 @@ func (s *StreamJoin) Add(ps *data.PointSet) error {
 		attr = ps.Attr(s.attr)
 	}
 	w := s.canvas.T.W
-	s.r.drawPointsBatched(s.canvas, lo, hi,
+	err = s.r.drawPointsBatched(ctx, s.canvas, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if pred != nil && !pred(i) {
@@ -147,9 +157,36 @@ func (s *StreamJoin) Add(ps *data.PointSet) error {
 				}
 			}
 		})
+	if err != nil {
+		s.Abort()
+		return err
+	}
 	s.batches++
 	s.points += int64(hi - lo)
 	return nil
+}
+
+// Abort ends the stream without a result, releasing its canvas and pooled
+// textures. Idempotent; called automatically when a batch is canceled
+// mid-draw.
+func (s *StreamJoin) Abort() {
+	s.finalized = true
+	s.release()
+}
+
+// release returns the stream's device resources. Idempotent.
+func (s *StreamJoin) release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.canvas.Release()
+	dev := s.r.dev
+	dev.ReleaseTexture(s.countTex)
+	dev.ReleaseTexture(s.sumTex)
+	dev.ReleaseTexture(s.minTex)
+	dev.ReleaseTexture(s.maxTex)
+	s.countTex, s.sumTex, s.minTex, s.maxTex = nil, nil, nil, nil
 }
 
 // Batches returns how many batches were added.
@@ -158,10 +195,18 @@ func (s *StreamJoin) Batches() int64 { return s.batches }
 // Finalize runs the polygon pass over the accumulated textures and returns
 // the result. The stream cannot be added to afterwards.
 func (s *StreamJoin) Finalize() (*Result, error) {
+	return s.FinalizeContext(context.Background())
+}
+
+// FinalizeContext is Finalize under a request context. The stream's device
+// resources are released on every exit path — including cancellation
+// mid-polygon-pass, which returns ctx.Err() and no result.
+func (s *StreamJoin) FinalizeContext(ctx context.Context) (*Result, error) {
 	if s.finalized {
 		return nil, fmt.Errorf("core: stream already finalized")
 	}
 	s.finalized = true
+	defer s.release()
 	res := &Result{
 		Stats:     make([]RegionStat, s.regions.Len()),
 		Algorithm: s.r.Name() + "-stream",
@@ -172,7 +217,7 @@ func (s *StreamJoin) Finalize() (*Result, error) {
 	w := s.canvas.T.W
 	useAttr := s.agg.NeedsAttr()
 	minMax := s.agg == Min || s.agg == Max
-	s.r.parallelRegions(s.regions.Len(), func(k int) {
+	err := s.r.parallelRegionsCtx(ctx, s.regions.Len(), func(k int) {
 		poly := s.regions.Regions[k].Poly
 		var local RegionStat
 		var scratch *raster.Bitmap
@@ -224,5 +269,8 @@ func (s *StreamJoin) Finalize() (*Result, error) {
 		}
 		res.Stats[k].Merge(local)
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }

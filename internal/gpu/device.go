@@ -12,6 +12,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -39,6 +40,16 @@ type Device struct {
 	trianglesIn     atomic.Int64
 	polygonsIn      atomic.Int64
 	fragmentsShaded atomic.Int64
+
+	// Render-target accounting: canvases and pooled textures currently
+	// acquired and not yet released. Cancellation hygiene tests assert both
+	// gauges return to zero after an aborted join — a leak here is the
+	// software analogue of leaking GPU memory.
+	liveCanvases atomic.Int64
+	liveTextures atomic.Int64
+
+	texMu   sync.Mutex
+	texFree map[int][]*Texture // free lists keyed by pixel count
 }
 
 // Option configures a Device.
@@ -93,6 +104,59 @@ func (d *Device) ResetStats() {
 	d.fragmentsShaded.Store(0)
 }
 
+// LiveCanvases returns the number of canvases acquired and not yet released.
+func (d *Device) LiveCanvases() int64 { return d.liveCanvases.Load() }
+
+// LiveTextures returns the number of pooled textures acquired and not yet
+// released.
+func (d *Device) LiveTextures() int64 { return d.liveTextures.Load() }
+
+// poolClassCap bounds each free list so a burst of large renders cannot pin
+// unbounded memory in the pool.
+const poolClassCap = 8
+
+// AcquireTexture returns a cleared w×h texture, reusing a pooled allocation
+// of the same pixel count when one is free. Pair with ReleaseTexture; a
+// canceled join must still release its textures or the device's live gauge
+// reports the leak.
+func (d *Device) AcquireTexture(w, h int) *Texture {
+	n := w * h
+	d.texMu.Lock()
+	free := d.texFree[n]
+	if l := len(free); l > 0 {
+		t := free[l-1]
+		d.texFree[n] = free[:l-1]
+		d.texMu.Unlock()
+		d.liveTextures.Add(1)
+		t.W, t.H = w, h
+		t.Clear()
+		return t
+	}
+	d.texMu.Unlock()
+	d.liveTextures.Add(1)
+	return NewTexture(w, h)
+}
+
+// ReleaseTexture returns a texture to the pool. Nil is ignored; releasing
+// the same texture twice corrupts the pool, so callers release exactly once
+// (the core joiners do it through defers that run on both the success and
+// the cancellation path).
+func (d *Device) ReleaseTexture(t *Texture) {
+	if t == nil {
+		return
+	}
+	d.liveTextures.Add(-1)
+	n := len(t.Data)
+	d.texMu.Lock()
+	if d.texFree == nil {
+		d.texFree = make(map[int][]*Texture)
+	}
+	if len(d.texFree[n]) < poolClassCap {
+		d.texFree[n] = append(d.texFree[n], t)
+	}
+	d.texMu.Unlock()
+}
+
 // Canvas is a render target bound to a world window: draws against it
 // rasterize world-space geometry onto its pixel grid. A Canvas corresponds
 // to one framebuffer-object pass in the paper's implementation.
@@ -100,6 +164,8 @@ type Canvas struct {
 	dev *Device
 	// T is the world-to-pixel transform of this render target.
 	T raster.Transform
+
+	released atomic.Bool
 }
 
 // NewCanvas starts a render pass over a w×h target mapped to the world
@@ -114,7 +180,18 @@ func (d *Device) NewCanvas(world geom.BBox, w, h int) (*Canvas, error) {
 			w, h, d.maxTextureSize)
 	}
 	d.passes.Add(1)
+	d.liveCanvases.Add(1)
 	return &Canvas{dev: d, T: raster.NewTransform(world, w, h)}, nil
+}
+
+// Release ends the canvas's render pass, decrementing the device's live
+// gauge. Idempotent, so both a deferred release and an explicit one on the
+// happy path are safe.
+func (c *Canvas) Release() {
+	if c == nil || c.released.Swap(true) {
+		return
+	}
+	c.dev.liveCanvases.Add(-1)
 }
 
 // Tiles partitions a full-resolution transform into canvas-sized passes and
@@ -132,7 +209,9 @@ func (d *Device) Tiles(full raster.Transform, fn func(c *Canvas, offX, offY int)
 			if err != nil {
 				return err
 			}
-			if err := fn(c, x0, y0); err != nil {
+			err = fn(c, x0, y0)
+			c.Release()
+			if err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,108 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+func TestTexturePoolReuse(t *testing.T) {
+	d := New()
+	a := d.AcquireTexture(4, 4)
+	a.Set(1, 1, 42)
+	if got := d.LiveTextures(); got != 1 {
+		t.Fatalf("live textures = %d, want 1", got)
+	}
+	d.ReleaseTexture(a)
+	if got := d.LiveTextures(); got != 0 {
+		t.Fatalf("live textures after release = %d, want 0", got)
+	}
+
+	// Same pixel count → the pooled allocation comes back, cleared, even
+	// under a different aspect ratio.
+	b := d.AcquireTexture(2, 8)
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("expected pooled allocation to be reused")
+	}
+	if b.W != 2 || b.H != 8 {
+		t.Fatalf("reused texture dims = %dx%d, want 2x8", b.W, b.H)
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reused texture not cleared at %d: %v", i, v)
+		}
+	}
+	d.ReleaseTexture(b)
+
+	// Different pixel count → fresh allocation.
+	c := d.AcquireTexture(3, 3)
+	if len(c.Data) != 9 {
+		t.Fatalf("len(Data) = %d, want 9", len(c.Data))
+	}
+	d.ReleaseTexture(c)
+	if got := d.LiveTextures(); got != 0 {
+		t.Fatalf("live textures = %d, want 0", got)
+	}
+
+	d.ReleaseTexture(nil) // no-op
+}
+
+func TestTexturePoolClassCap(t *testing.T) {
+	d := New()
+	var ts []*Texture
+	for i := 0; i < poolClassCap+4; i++ {
+		ts = append(ts, d.AcquireTexture(2, 2))
+	}
+	for _, tx := range ts {
+		d.ReleaseTexture(tx)
+	}
+	d.texMu.Lock()
+	free := len(d.texFree[4])
+	d.texMu.Unlock()
+	if free != poolClassCap {
+		t.Fatalf("free list = %d, want capped at %d", free, poolClassCap)
+	}
+	if got := d.LiveTextures(); got != 0 {
+		t.Fatalf("live textures = %d, want 0", got)
+	}
+}
+
+func TestCanvasReleaseIdempotent(t *testing.T) {
+	d := New()
+	world := geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	c, err := d.NewCanvas(world, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LiveCanvases(); got != 1 {
+		t.Fatalf("live canvases = %d, want 1", got)
+	}
+	c.Release()
+	c.Release() // second release must not drive the gauge negative
+	if got := d.LiveCanvases(); got != 0 {
+		t.Fatalf("live canvases = %d, want 0", got)
+	}
+	var nilC *Canvas
+	nilC.Release() // nil-safe
+}
+
+func TestTilesReleasesCanvases(t *testing.T) {
+	d := New(WithMaxTextureSize(4))
+	world := geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	full := raster.NewTransform(world, 10, 10)
+	tiles := 0
+	err := d.Tiles(full, func(c *Canvas, offX, offY int) error {
+		tiles++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiles != 9 {
+		t.Fatalf("tiles = %d, want 9", tiles)
+	}
+	if got := d.LiveCanvases(); got != 0 {
+		t.Fatalf("live canvases after Tiles = %d, want 0", got)
+	}
+}

@@ -1,0 +1,204 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalescedWaiterCancelDetaches: canceling one of N coalesced waiters
+// must not disturb the shared compute — the other N−1 still get the result,
+// and the compute runs exactly once.
+func TestCoalescedWaiterCancelDetaches(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var computes atomic.Int64
+
+	compute := func(ctx context.Context) ([]byte, error) {
+		computes.Add(1)
+		close(started)
+		select {
+		case <-release:
+			return []byte("v"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Leader.
+	type res struct {
+		v   []byte
+		out Outcome
+		err error
+	}
+	leaderCh := make(chan res, 1)
+	go func() {
+		v, out, err := c.DoContext(context.Background(), "k", compute)
+		leaderCh <- res{v, out, err}
+	}()
+	<-started
+
+	// N waiters, one of which will cancel.
+	const n = 4
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	canceledCh := make(chan res, 1)
+	go func() {
+		v, out, err := c.DoContext(cancelCtx, "k",
+			func(context.Context) ([]byte, error) { t.Error("waiter must not compute"); return nil, nil })
+		canceledCh <- res{v, out, err}
+	}()
+	var wg sync.WaitGroup
+	results := make(chan res, n-1)
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, err := c.DoContext(context.Background(), "k",
+				func(context.Context) ([]byte, error) { t.Error("waiter must not compute"); return nil, nil })
+			results <- res{v, out, err}
+		}()
+	}
+	// Give the waiters a moment to attach, then cancel one.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	got := <-canceledCh
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v, want context.Canceled", got.err)
+	}
+
+	// The compute is still live for the survivors.
+	close(release)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil || string(r.v) != "v" {
+			t.Fatalf("surviving waiter got (%q, %v, %v)", r.v, r.out, r.err)
+		}
+		if r.out != Coalesced {
+			t.Fatalf("surviving waiter outcome = %v, want Coalesced", r.out)
+		}
+	}
+	lr := <-leaderCh
+	if lr.err != nil || string(lr.v) != "v" || lr.out != Miss {
+		t.Fatalf("leader got (%q, %v, %v)", lr.v, lr.out, lr.err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1", n)
+	}
+}
+
+// TestLastWaiterCancelKillsCompute: when every attached caller detaches,
+// the shared compute's context must be canceled.
+func TestLastWaiterCancelKillsCompute(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	computeDone := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _, _ = c.DoContext(ctx, "k", func(cctx context.Context) ([]byte, error) {
+			close(started)
+			<-cctx.Done() // only the all-waiters-gone cancel can end this
+			computeDone <- cctx.Err()
+			return nil, cctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-computeDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("compute ended with %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("compute not canceled after last waiter left")
+	}
+
+	// The abandoned flight must not poison the key: a fresh caller
+	// becomes a new leader and computes.
+	v, out, err := c.DoContext(context.Background(), "k",
+		func(context.Context) ([]byte, error) { return []byte("fresh"), nil })
+	if err != nil || string(v) != "fresh" {
+		t.Fatalf("fresh caller got (%q, %v, %v)", v, out, err)
+	}
+}
+
+// TestLateJoinerOfAbandonedFlightRetries: a caller that attaches in the
+// window between the compute's cancellation and the flight's retirement
+// must retry and get a real result, not the dead flight's error.
+func TestLateJoinerOfAbandonedFlightRetries(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	block := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _, _ = c.DoContext(ctx, "k", func(cctx context.Context) ([]byte, error) {
+			close(started)
+			<-cctx.Done()
+			<-block // hold the canceled flight open so the joiner attaches to it
+			return nil, cctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	// Wait until the leader has detached (flight waiters drained).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.flightMu.Lock()
+		call, ok := c.flights["k"]
+		drained := ok && call.waiters == 0
+		c.flightMu.Unlock()
+		if drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	joined := make(chan struct {
+		v   []byte
+		err error
+	}, 1)
+	go func() {
+		v, _, err := c.DoContext(context.Background(), "k",
+			func(context.Context) ([]byte, error) { return []byte("retried"), nil })
+		joined <- struct {
+			v   []byte
+			err error
+		}{v, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the joiner attach to the dead flight
+	close(block)
+
+	select {
+	case r := <-joined:
+		if r.err != nil || string(r.v) != "retried" {
+			t.Fatalf("late joiner got (%q, %v), want retried result", r.v, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("late joiner never completed")
+	}
+}
+
+// TestDoContextDeadCtxShortCircuits: a context that is already done never
+// invokes the compute and never touches the flight table.
+func TestDoContextDeadCtxShortCircuits(t *testing.T) {
+	c := New(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.DoContext(ctx, "k",
+		func(context.Context) ([]byte, error) { t.Fatal("computed"); return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(c.flights) != 0 {
+		t.Fatal("dead ctx left a flight behind")
+	}
+}

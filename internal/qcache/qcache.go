@@ -31,6 +31,7 @@ package qcache
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -97,10 +98,28 @@ func (sh *shard) removeLocked(el *list.Element) {
 	sh.bytes -= e.cost
 }
 
+// flightCall is one in-flight compute plus the callers attached to it. The
+// compute runs in its own goroutine under a context detached from any one
+// caller (context.WithoutCancel keeps the leader's values — notably its
+// trace — while dropping its cancel), so a waiter that gives up detaches
+// without killing the result the other waiters are blocked on. waiters and
+// retired are guarded by the cache's flightMu; the last waiter to leave an
+// unretired flight cancels the compute.
 type flightCall struct {
 	done chan struct{}
 	val  []byte
 	err  error
+	// hit records that the leader's double-check found the value cached,
+	// so waiters report Hit rather than Coalesced-on-a-compute.
+	hit bool
+	// abandoned records that the compute died because every waiter left —
+	// a late joiner that observes it retries instead of inheriting the
+	// dead flight's cancellation error.
+	abandoned bool
+
+	waiters int
+	retired bool
+	cancel  context.CancelFunc
 }
 
 // Cache is a sharded LRU result cache; safe for concurrent use. A nil
@@ -232,54 +251,125 @@ func (c *Cache) putAt(key string, val []byte, gen uint64) {
 // all concurrent callers. Errors are returned to the leader and every
 // coalesced waiter but never cached.
 func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	return c.DoContext(context.Background(), key,
+		func(context.Context) ([]byte, error) { return compute() })
+}
+
+// DoContext is Do under a request context. Coalescing semantics:
+//
+//   - The compute runs detached from any individual caller, under a context
+//     that carries the leader's values but not its cancel. A caller whose
+//     ctx ends while waiting detaches with ctx.Err(); the others keep
+//     waiting and receive the result.
+//   - The compute's context is canceled only when the last attached caller
+//     has detached — nobody wants the answer anymore.
+//   - A caller that joins a flight in the narrow window after its compute
+//     was abandoned (all prior waiters gone) retries from the top instead
+//     of inheriting the dead flight's cancellation error.
+func (c *Cache) DoContext(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) ([]byte, Outcome, error) {
 	if c == nil {
-		v, err := compute()
+		v, err := compute(ctx)
 		return v, Bypass, err
 	}
-	if v, ok := c.lookup(key); ok {
-		c.hits.Add(1)
-		return v, Hit, nil
-	}
-	c.flightMu.Lock()
-	if call, ok := c.flights[key]; ok {
-		c.flightMu.Unlock()
-		<-call.done
-		c.coalesced.Add(1)
-		return call.val, Coalesced, call.err
-	}
-	call := &flightCall{done: make(chan struct{})}
-	c.flights[key] = call
-	c.flightMu.Unlock()
-
-	finish := func(val []byte, err error) {
-		call.val, call.err = val, err
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, Bypass, err
+		}
+		if v, ok := c.lookup(key); ok {
+			c.hits.Add(1)
+			return v, Hit, nil
+		}
 		c.flightMu.Lock()
+		if call, ok := c.flights[key]; ok {
+			call.waiters++
+			c.flightMu.Unlock()
+			v, outcome, err, retry := c.wait(ctx, call, Coalesced)
+			if retry {
+				continue
+			}
+			return v, outcome, err
+		}
+		call := &flightCall{done: make(chan struct{}), waiters: 1}
+		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		call.cancel = cancel
+		c.flights[key] = call
+		c.flightMu.Unlock()
+
+		go c.runFlight(cctx, key, call, compute)
+
+		// The leader waits like any other caller: if its request dies while
+		// the compute is shared, it detaches and the survivors still get
+		// the result.
+		v, outcome, err, retry := c.wait(ctx, call, Miss)
+		if retry {
+			continue
+		}
+		return v, outcome, err
+	}
+}
+
+// runFlight executes one coalesced compute and retires the flight.
+func (c *Cache) runFlight(cctx context.Context, key string, call *flightCall, compute func(ctx context.Context) ([]byte, error)) {
+	defer call.cancel()
+	finish := func(val []byte, err error, hit, abandoned bool) {
+		call.val, call.err = val, err
+		call.hit, call.abandoned = hit, abandoned
+		c.flightMu.Lock()
+		call.retired = true
 		delete(c.flights, key)
 		c.flightMu.Unlock()
 		close(call.done)
 	}
 
 	// Leader double-check: a previous flight may have filled the cache
-	// between our miss and taking leadership; recomputing would break the
+	// between the miss and taking leadership; recomputing would break the
 	// exactly-once guarantee.
 	if v, ok := c.lookup(key); ok {
 		c.hits.Add(1)
-		finish(v, nil)
-		return v, Hit, nil
+		finish(v, nil, true, false)
+		return
 	}
 
 	gen := c.gen.Load()
-	v, err := compute()
+	v, err := compute(cctx)
 	c.misses.Add(1)
 	if err != nil {
-		finish(nil, err)
-		return nil, Miss, err
+		finish(nil, err, false, cctx.Err() != nil)
+		return
 	}
 	// Publish before retiring the flight so late callers that missed the
 	// cache either joined this flight or will hit the stored value.
 	c.putAt(key, v, gen)
-	finish(v, nil)
-	return v, Miss, nil
+	finish(v, nil, false, false)
+}
+
+// wait blocks on the flight until it retires or ctx ends. own is the
+// outcome to report on success (Miss for the flight's creator, Coalesced
+// for joiners). retry is true when the flight was abandoned but this
+// caller's ctx is still live — the caller should start over.
+func (c *Cache) wait(ctx context.Context, call *flightCall, own Outcome) (v []byte, outcome Outcome, err error, retry bool) {
+	select {
+	case <-call.done:
+		if call.abandoned && ctx.Err() == nil {
+			return nil, own, nil, true
+		}
+		if call.hit {
+			return call.val, Hit, call.err, false
+		}
+		if own == Coalesced {
+			c.coalesced.Add(1)
+		}
+		return call.val, own, call.err, false
+	case <-ctx.Done():
+		c.flightMu.Lock()
+		call.waiters--
+		if call.waiters == 0 && !call.retired {
+			// Last caller gone: nobody wants the result, kill the compute.
+			call.cancel()
+		}
+		c.flightMu.Unlock()
+		return nil, own, ctx.Err(), false
+	}
 }
 
 // Invalidate drops the whole cache in O(1) by bumping the generation;

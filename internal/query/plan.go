@@ -1,12 +1,14 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/data"
+	"repro/internal/trace"
 )
 
 // Catalog resolves data set names to their contents. internal/urbane's
@@ -94,9 +96,23 @@ type Execution struct {
 
 // Execute runs the plan and times it.
 func Execute(p *Plan) (*Execution, error) {
+	return ExecuteContext(context.Background(), p)
+}
+
+// ExecuteContext runs the plan under the request context: a joiner that
+// supports mid-flight cancellation is aborted when ctx ends, and the
+// execute stage is recorded on the context's trace.
+func ExecuteContext(ctx context.Context, p *Plan) (*Execution, error) {
+	sp := trace.FromContext(ctx).Start("execute")
+	defer sp.End()
 	start := time.Now()
-	res, err := p.Joiner.Join(p.Request)
+	res, err := core.JoinContext(ctx, p.Joiner, p.Request)
 	if err != nil {
+		// Cancellation and deadline errors pass through unwrapped so the
+		// server can map them to their HTTP statuses.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("query: executing with %s: %w", p.Joiner.Name(), err)
 	}
 	return &Execution{Plan: p, Result: res, Elapsed: time.Since(start)}, nil
@@ -104,13 +120,24 @@ func Execute(p *Plan) (*Execution, error) {
 
 // Run parses, plans, and executes a statement in one step.
 func Run(stmt string, pl *Planner, cat Catalog) (*Execution, error) {
+	return RunContext(context.Background(), stmt, pl, cat)
+}
+
+// RunContext parses, plans, and executes a statement under the request
+// context, tracing each stage (parse, plan, execute).
+func RunContext(ctx context.Context, stmt string, pl *Planner, cat Catalog) (*Execution, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("parse")
 	q, err := Parse(stmt)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("plan")
 	plan, err := pl.Plan(q, cat)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return Execute(plan)
+	return ExecuteContext(ctx, plan)
 }

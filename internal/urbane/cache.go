@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/qcache"
+	"repro/internal/trace"
 )
 
 // DefaultCacheBytes is the query-result cache capacity a server gets when
@@ -25,6 +27,7 @@ const DefaultCacheBytes = 64 << 20
 const (
 	cacheOutcomeHeader = "X-Urbane-Cache"
 	elapsedHeader      = "X-Urbane-Elapsed-Ms"
+	traceHeader        = "X-Urbane-Trace"
 )
 
 // ServerOption configures NewServer.
@@ -45,6 +48,18 @@ func WithCache(capacityBytes int64) ServerOption {
 // WithoutCache disables the query-result cache; every request computes.
 func WithoutCache() ServerOption {
 	return func(s *Server) { s.cache = nil }
+}
+
+// WithQueryTimeout bounds every /api request to d: the handler's context
+// carries the deadline, the join kernels observe it between point batches,
+// and an exhausted deadline surfaces as 504 Gateway Timeout. d <= 0 (the
+// default) disables the bound.
+func WithQueryTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.timeout = d
+		}
+	}
 }
 
 // WithTimeSnap makes the server quantize every time filter outward to
@@ -74,7 +89,9 @@ func (e *statusError) Error() string { return e.err.Error() }
 func (e *statusError) Unwrap() error { return e.err }
 
 // internalErr marks a compute failure as a 500 rather than a 400.
-func internalErr(err error) error { return &statusError{status: http.StatusInternalServerError, err: err} }
+func internalErr(err error) error {
+	return &statusError{status: http.StatusInternalServerError, err: err}
+}
 
 // syncGeneration slaves the cache generation to the framework's catalog
 // version, so registering a data set, layer, or cube invalidates the
@@ -101,20 +118,17 @@ func marshalBody(v any) ([]byte, error) {
 }
 
 // serveCached satisfies one cacheable endpoint: look up the canonical key,
-// coalesce concurrent identical computes, and serve the stored bytes.
+// coalesce concurrent identical computes, and serve the stored bytes. The
+// compute runs under the request context (coalesced waiters that give up
+// detach without killing the shared compute; see qcache.DoContext).
 // Compute errors are never cached; they surface with the status carried by
-// statusError (default 400).
-func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, compute func() ([]byte, error)) {
+// statusError (default 400), with context exhaustion mapped to 504/499.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, contentType string, compute func(ctx context.Context) ([]byte, error)) {
 	start := time.Now()
 	s.syncGeneration()
-	body, outcome, err := s.cache.Do(key, compute)
+	body, outcome, err := s.cache.DoContext(r.Context(), key, compute)
 	if err != nil {
-		status := http.StatusBadRequest
-		var se *statusError
-		if errors.As(err, &se) {
-			status, err = se.status, se.err
-		}
-		writeError(w, status, err)
+		writeComputeError(w, err)
 		return
 	}
 	h := w.Header()
@@ -124,12 +138,30 @@ func (s *Server) serveCached(w http.ResponseWriter, key, contentType string, com
 	_, _ = w.Write(body)
 }
 
+// writeComputeError maps a compute failure to its HTTP status: an explicit
+// statusError wins, then deadline exhaustion is 504 Gateway Timeout, a
+// vanished client is 499, and anything else is a 400.
+func writeComputeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var se *statusError
+	if errors.As(err, &se) {
+		status, err = se.status, se.err
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = trace.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = trace.StatusClientClosedRequest
+	}
+	writeError(w, status, err)
+}
+
 // serveCachedImage wraps serveCached for the GET image endpoints with
 // HTTP revalidation: a strong ETag derived from the cache key and the
 // current generation, honored via If-None-Match with 304. Within one
 // generation the catalog is immutable and rendering is deterministic, so
 // key+generation fully determines the bytes — the validator is strong.
-func (s *Server) serveCachedImage(w http.ResponseWriter, r *http.Request, key, contentType string, compute func() ([]byte, error)) {
+func (s *Server) serveCachedImage(w http.ResponseWriter, r *http.Request, key, contentType string, compute func(ctx context.Context) ([]byte, error)) {
 	s.syncGeneration()
 	etag := s.etagFor(key)
 	h := w.Header()
@@ -139,7 +171,7 @@ func (s *Server) serveCachedImage(w http.ResponseWriter, r *http.Request, key, c
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	s.serveCached(w, key, contentType, compute)
+	s.serveCached(w, r, key, contentType, compute)
 }
 
 // etagFor derives the strong validator for a cache key at the current

@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -36,6 +37,12 @@ type DeltaView struct {
 // Delta evaluates both windows (through the planner, so cubes serve aligned
 // windows) and returns the per-region differences.
 func (f *Framework) Delta(req DeltaRequest) (*DeltaView, error) {
+	return f.DeltaContext(context.Background(), req)
+}
+
+// DeltaContext is Delta under the request context; each window's execution
+// is individually cancelable.
+func (f *Framework) DeltaContext(ctx context.Context, req DeltaRequest) (*DeltaView, error) {
 	if req.A == req.B {
 		return nil, fmt.Errorf("urbane: delta windows are identical")
 	}
@@ -58,14 +65,14 @@ func (f *Framework) Delta(req DeltaRequest) (*DeltaView, error) {
 	if err := reqA.Validate(); err != nil {
 		return nil, err
 	}
-	resA, err := f.Execute(reqA)
+	resA, err := f.ExecuteContext(ctx, reqA)
 	if err != nil {
 		return nil, err
 	}
 	reqB := base
 	b := req.B
 	reqB.Time = &b
-	resB, err := f.Execute(reqB)
+	resB, err := f.ExecuteContext(ctx, reqB)
 	if err != nil {
 		return nil, err
 	}

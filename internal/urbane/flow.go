@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,6 +41,11 @@ type FlowView struct {
 // FlowView computes the OD matrix with the raster flow join and returns the
 // top edges.
 func (f *Framework) FlowView(req FlowViewRequest) (*FlowView, error) {
+	return f.FlowViewContext(context.Background(), req)
+}
+
+// FlowViewContext is FlowView under the request context.
+func (f *Framework) FlowViewContext(ctx context.Context, req FlowViewRequest) (*FlowView, error) {
 	ps, ok := f.PointSet(req.Dataset)
 	if !ok {
 		return nil, fmt.Errorf("urbane: unknown point set %q", req.Dataset)
@@ -60,7 +66,7 @@ func (f *Framework) FlowView(req FlowViewRequest) (*FlowView, error) {
 		top = 20
 	}
 	start := time.Now()
-	res, err := f.rasterJoiner().FlowJoin(creq, data.DropoffXAttr, data.DropoffYAttr)
+	res, err := f.rasterJoiner().FlowJoinContext(ctx, creq, data.DropoffXAttr, data.DropoffYAttr)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -153,24 +154,37 @@ func (f *Framework) RegionSetNames() []string {
 
 // Query parses, plans, and executes a SQL-like statement.
 func (f *Framework) Query(stmt string) (*query.Execution, error) {
+	return f.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext parses, plans, and executes a SQL-like statement under the
+// request context, tracing each stage.
+func (f *Framework) QueryContext(ctx context.Context, stmt string) (*query.Execution, error) {
 	f.mu.RLock()
 	pl := f.planner
 	f.mu.RUnlock()
-	return query.Run(stmt, pl, f)
+	return query.RunContext(ctx, stmt, pl, f)
 }
 
 // Execute plans and runs an already-built request through the planner's
 // routing (cube when servable, raster otherwise).
 func (f *Framework) Execute(req core.Request) (*core.Result, error) {
+	return f.ExecuteContext(context.Background(), req)
+}
+
+// ExecuteContext is Execute under the request context: raster execution is
+// canceled mid-flight when ctx ends; cube lookups are fast enough that only
+// an up-front check applies.
+func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core.Result, error) {
 	f.mu.RLock()
 	pl := f.planner
 	f.mu.RUnlock()
 	for _, c := range pl.Cubes {
 		if c.CanServe(req) == nil {
-			return c.Join(req)
+			return core.JoinContext(ctx, c, req)
 		}
 	}
-	return pl.Raster.Join(req)
+	return pl.Raster.JoinContext(ctx, req)
 }
 
 // cubeServable reports whether any registered cube can serve the request.

@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,13 @@ type Heatmap struct {
 
 // Heatmap renders the density view through the GPU substrate's point pass.
 func (f *Framework) Heatmap(req HeatmapRequest) (*Heatmap, error) {
+	return f.HeatmapContext(context.Background(), req)
+}
+
+// HeatmapContext is Heatmap under the request context. The density render
+// is a single point pass; cancellation is checked before it starts and the
+// canvas is always released.
+func (f *Framework) HeatmapContext(ctx context.Context, req HeatmapRequest) (*Heatmap, error) {
 	ps, ok := f.PointSet(req.Dataset)
 	if !ok {
 		return nil, fmt.Errorf("urbane: unknown point set %q", req.Dataset)
@@ -93,6 +101,10 @@ func (f *Framework) Heatmap(req HeatmapRequest) (*Heatmap, error) {
 	}
 	canvas, err := dev.NewCanvas(bounds, w, h)
 	if err != nil {
+		return nil, err
+	}
+	defer canvas.Release()
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	hm := &Heatmap{W: w, H: h, Bounds: canvas.T.World, Counts: make([]float64, w*h)}

@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,12 @@ type RegionScore struct {
 // per-region feature matrix, and ranks all regions by euclidean distance to
 // the target region's feature vector (most similar first, target excluded).
 func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec) ([]RegionScore, error) {
+	return f.RankSimilarContext(context.Background(), layer, targetID, metrics)
+}
+
+// RankSimilarContext is RankSimilar under the request context; each metric
+// group's render is individually cancelable.
+func (f *Framework) RankSimilarContext(ctx context.Context, layer string, targetID int, metrics []MetricSpec) ([]RegionScore, error) {
 	if len(metrics) == 0 {
 		return nil, fmt.Errorf("urbane: ranking needs at least one metric")
 	}
@@ -78,7 +85,7 @@ func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec
 			return nil, fmt.Errorf("urbane: metric %q: %w", spec.Name, err)
 		}
 		if f.cubeServable(creq) {
-			res, err := f.Execute(creq)
+			res, err := f.ExecuteContext(ctx, creq)
 			if err != nil {
 				return nil, fmt.Errorf("urbane: metric %q: %w", spec.Name, err)
 			}
@@ -100,9 +107,12 @@ func (f *Framework) RankSimilar(layer string, targetID int, metrics []MetricSpec
 				Time:    metrics[m].Time,
 			}
 		}
-		results, err := f.rasterJoiner().MultiJoin(
+		results, err := f.rasterJoiner().MultiJoinContext(ctx,
 			core.Request{Points: ps, Regions: rs}, specs)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("urbane: metrics over %q: %w", dataset, err)
 		}
 		for j, m := range idxs {

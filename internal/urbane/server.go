@@ -1,16 +1,21 @@
 package urbane
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/qcache"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // Server exposes the framework over the JSON API the demo frontend speaks.
@@ -19,21 +24,30 @@ import (
 // sharded query-result cache with request coalescing; see cache.go and
 // internal/qcache.
 type Server struct {
-	f     *Framework
-	mux   *http.ServeMux
-	cache *qcache.Cache // nil = caching disabled
-	snap  int64         // time-filter snap granularity, >= 1
+	f       *Framework
+	mux     *http.ServeMux
+	cache   *qcache.Cache   // nil = caching disabled
+	snap    int64           // time-filter snap granularity, >= 1
+	timeout time.Duration   // per-request query deadline; 0 = unbounded
+	metrics *trace.Registry // per-endpoint latency histograms and gauges
 }
 
 // NewServer wraps a framework. By default responses are cached in
-// DefaultCacheBytes of memory; see WithCache, WithoutCache, WithTimeSnap.
+// DefaultCacheBytes of memory; see WithCache, WithoutCache, WithTimeSnap,
+// WithQueryTimeout.
 func NewServer(f *Framework, opts ...ServerOption) *Server {
-	s := &Server{f: f, mux: http.NewServeMux(), cache: qcache.New(DefaultCacheBytes), snap: 1}
+	s := &Server{
+		f: f, mux: http.NewServeMux(),
+		cache:   qcache.New(DefaultCacheBytes),
+		snap:    1,
+		metrics: trace.NewRegistry(),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.mux.HandleFunc("/api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/api/cachestats", s.handleCacheStats)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/mapview", s.handleMapView)
 	s.mux.HandleFunc("/api/explore", s.handleExplore)
@@ -48,8 +62,72 @@ func NewServer(f *Framework, opts ...ServerOption) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request runs under the server
+// middleware: a context that carries the query deadline (WithQueryTimeout)
+// and a fresh trace, a response writer that stamps the X-Urbane-Trace and
+// X-Urbane-Elapsed-Ms headers the moment the status is written (so error
+// paths carry them too), and the per-endpoint metrics the /api/stats
+// endpoint reports.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := endpointName(r.URL.Path)
+	ctx := r.Context()
+	if s.timeout > 0 && strings.HasPrefix(r.URL.Path, "/api/") {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	tr := trace.New(name)
+	ctx = trace.NewContext(ctx, tr)
+	end := s.metrics.Endpoint(name).Begin()
+	sw := &statusWriter{ResponseWriter: w, tr: tr}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	end(sw.status, tr.Elapsed())
+}
+
+// endpointName collapses a request path to its metrics label. Tile requests
+// share one label (their z/x/y would explode the registry's cardinality);
+// everything outside /api is the index.
+func endpointName(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/api/tile/"):
+		return "/api/tile/"
+	case strings.HasPrefix(path, "/api/"):
+		return path
+	default:
+		return "/"
+	}
+}
+
+// statusWriter injects the trace and elapsed headers when the response
+// status is committed — the only point that covers success and error paths
+// alike — and records the status for outcome classification.
+type statusWriter struct {
+	http.ResponseWriter
+	tr     *trace.Trace
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.wrote = true
+		sw.status = status
+		h := sw.Header()
+		if h.Get(elapsedHeader) == "" {
+			h.Set(elapsedHeader, strconv.FormatFloat(
+				float64(sw.tr.Elapsed())/float64(time.Millisecond), 'f', 3, 64))
+		}
+		h.Set(traceHeader, sw.tr.Header())
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.WriteHeader(http.StatusOK)
+	}
+	return sw.ResponseWriter.Write(b)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -57,8 +135,52 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the unified error envelope: every failing endpoint answers
+// {"error":{"status":...,"code":"...","message":"..."}}.
+type errorBody struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]errorBody{"error": {
+		Status: status, Code: errorCode(status), Message: err.Error(),
+	}})
+}
+
+// errorCode names a status for machine consumption (clients branch on the
+// code, not the prose).
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case trace.StatusClientClosedRequest:
+		return "client_closed_request"
+	case trace.StatusGatewayTimeout:
+		return "query_timeout"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
+// writeQueryError maps an execution error from an uncached endpoint to its
+// status: deadline exhaustion is 504, a vanished client 499, the rest 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, trace.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, trace.StatusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -103,8 +225,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q.Filters = qcache.CanonFilters(q.Filters)
 	q.Time = s.snapTime(q.Time)
 	stmt := q.String()
-	s.serveCached(w, queryKey(stmt), "application/json", func() ([]byte, error) {
-		exec, err := s.f.Query(stmt)
+	s.serveCached(w, r, queryKey(stmt), "application/json", func(ctx context.Context) ([]byte, error) {
+		exec, err := s.f.QueryContext(ctx, stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -185,8 +307,8 @@ func (s *Server) handleMapView(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	s.serveCached(w, mapViewKey(req), "application/json", func() ([]byte, error) {
-		ch, err := s.f.MapView(req)
+	s.serveCached(w, r, mapViewKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+		ch, err := s.f.MapViewContext(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +340,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ex, err := s.f.Explore(ExplorationRequest{
+	ex, err := s.f.ExploreContext(r.Context(), ExplorationRequest{
 		Datasets: wreq.Datasets, Layer: wreq.Layer,
 		Agg: agg, Attr: wreq.Attr,
 		RegionIDs: wreq.RegionIDs,
@@ -226,7 +348,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Filters: toFilters(wreq.Filters),
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ex)
@@ -265,9 +387,9 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			metrics[i].Time = &core.TimeFilter{Start: m.Time.Start, End: m.Time.End}
 		}
 	}
-	scores, err := s.f.RankSimilar(wreq.Layer, wreq.TargetID, metrics)
+	scores, err := s.f.RankSimilarContext(r.Context(), wreq.Layer, wreq.TargetID, metrics)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, scores)
@@ -299,8 +421,8 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		A: *s.snapTime(&core.TimeFilter{Start: wreq.A.Start, End: wreq.A.End}),
 		B: *s.snapTime(&core.TimeFilter{Start: wreq.B.Start, End: wreq.B.End}),
 	}
-	s.serveCached(w, deltaKey(req), "application/json", func() ([]byte, error) {
-		view, err := s.f.Delta(req)
+	s.serveCached(w, r, deltaKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+		view, err := s.f.DeltaContext(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -331,8 +453,8 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	s.serveCached(w, heatmapKey(req), "application/json", func() ([]byte, error) {
-		hm, err := s.f.Heatmap(req)
+	s.serveCached(w, r, heatmapKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+		hm, err := s.f.HeatmapContext(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -362,9 +484,9 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
 	}
-	view, err := s.f.FlowView(req)
+	view, err := s.f.FlowViewContext(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -388,6 +510,34 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 		// Headers already sent; nothing more we can do but log-by-status.
 		return
 	}
+}
+
+// statsResponse is the /api/stats payload: per-endpoint latency histograms
+// and outcome counters (ok / error / timeout / canceled), in-flight gauges,
+// plus the device's live render-resource gauges — after an aborted query
+// both should return to zero.
+type statsResponse struct {
+	UptimeSec      float64               `json:"uptimeSec"`
+	QueryTimeoutMs float64               `json:"queryTimeoutMs"` // 0 = unbounded
+	LiveCanvases   int64                 `json:"liveCanvases"`
+	LiveTextures   int64                 `json:"liveTextures"`
+	Endpoints      []trace.EndpointStats `json:"endpoints"`
+}
+
+// handleStats reports the server's request statistics: GET /api/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	dev := s.f.rasterJoiner().Device()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSec:      s.metrics.Uptime().Seconds(),
+		QueryTimeoutMs: float64(s.timeout) / float64(time.Millisecond),
+		LiveCanvases:   dev.LiveCanvases(),
+		LiveTextures:   dev.LiveTextures(),
+		Endpoints:      s.metrics.Snapshot(),
+	})
 }
 
 // decodePost decodes a JSON POST body into dst, writing the error response

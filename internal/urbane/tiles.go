@@ -2,6 +2,7 @@ package urbane
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -17,7 +18,12 @@ import (
 // layer order plus the region set, for callers composing their own images;
 // HTTP clients use the /api/render/choropleth.png endpoint instead.
 func (f *Framework) RenderChoropleth(req MapViewRequest, width int) ([]byte, error) {
-	ch, err := f.MapView(req)
+	return f.RenderChoroplethContext(context.Background(), req, width)
+}
+
+// RenderChoroplethContext is RenderChoropleth under the request context.
+func (f *Framework) RenderChoroplethContext(ctx context.Context, req MapViewRequest, width int) ([]byte, error) {
+	ch, err := f.MapViewContext(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +73,8 @@ func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
 		Dataset: q.Get("dataset"), Layer: q.Get("layer"),
 		Agg: agg, Attr: q.Get("attr"),
 	}
-	s.serveCachedImage(w, r, choroplethKey(req, width), "image/png", func() ([]byte, error) {
-		return s.f.RenderChoropleth(req, width)
+	s.serveCachedImage(w, r, choroplethKey(req, width), "image/png", func(ctx context.Context) ([]byte, error) {
+		return s.f.RenderChoroplethContext(ctx, req, width)
 	})
 }
 
@@ -101,8 +107,8 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 	tile := mercator.Tile{Z: z, X: x, Y: y}
 	dataset := r.URL.Query().Get("dataset")
-	s.serveCachedImage(w, r, tileKey(z, x, y, dataset), "image/png", func() ([]byte, error) {
-		hm, err := s.f.Heatmap(HeatmapRequest{
+	s.serveCachedImage(w, r, tileKey(z, x, y, dataset), "image/png", func(ctx context.Context) ([]byte, error) {
+		hm, err := s.f.HeatmapContext(ctx, HeatmapRequest{
 			Dataset: dataset,
 			W:       256, H: 256,
 			Bounds: tile.BBox(),
@@ -125,7 +131,12 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 // TileDensity returns the density counts for one slippy tile — the
 // programmatic form of the tile endpoint.
 func (f *Framework) TileDensity(dataset string, tile mercator.Tile, filters []core.Filter) (*Heatmap, error) {
-	return f.Heatmap(HeatmapRequest{
+	return f.TileDensityContext(context.Background(), dataset, tile, filters)
+}
+
+// TileDensityContext is TileDensity under the request context.
+func (f *Framework) TileDensityContext(ctx context.Context, dataset string, tile mercator.Tile, filters []core.Filter) (*Heatmap, error) {
+	return f.HeatmapContext(ctx, HeatmapRequest{
 		Dataset: dataset,
 		W:       256, H: 256,
 		Bounds:  tile.BBox(),

@@ -1,6 +1,7 @@
 package urbane
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -41,6 +42,11 @@ type Choropleth struct {
 
 // MapView evaluates the choropleth for the request.
 func (f *Framework) MapView(req MapViewRequest) (*Choropleth, error) {
+	return f.MapViewContext(context.Background(), req)
+}
+
+// MapViewContext is MapView under the request context.
+func (f *Framework) MapViewContext(ctx context.Context, req MapViewRequest) (*Choropleth, error) {
 	ps, ok := f.PointSet(req.Dataset)
 	if !ok {
 		return nil, fmt.Errorf("urbane: unknown point set %q", req.Dataset)
@@ -58,7 +64,7 @@ func (f *Framework) MapView(req MapViewRequest) (*Choropleth, error) {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := f.Execute(creq)
+	res, err := f.ExecuteContext(ctx, creq)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +130,13 @@ type Exploration struct {
 // bin, one spatial aggregation query over the layer; the per-region results
 // are transposed into time series.
 func (f *Framework) Explore(req ExplorationRequest) (*Exploration, error) {
+	return f.ExploreContext(context.Background(), req)
+}
+
+// ExploreContext is Explore under the request context: cancellation is
+// checked between per-bin queries, and the series fast path inherits the
+// raster joiner's batch-granular cancellation.
+func (f *Framework) ExploreContext(ctx context.Context, req ExplorationRequest) (*Exploration, error) {
 	if req.Bins < 1 {
 		return nil, fmt.Errorf("urbane: exploration needs at least 1 bin")
 	}
@@ -179,7 +192,10 @@ func (f *Framework) Explore(req ExplorationRequest) (*Exploration, error) {
 		probe := creq
 		probe.Time = &core.TimeFilter{Start: out.BinStarts[0], End: out.BinStarts[0] + width}
 		if !f.cubeServable(probe) && ps.T != nil {
-			series, err := f.rasterJoiner().SeriesJoin(creq, req.Start, req.End, req.Bins)
+			series, err := f.rasterJoiner().SeriesJoinContext(ctx, creq, req.Start, req.End, req.Bins)
+			if err != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if err == nil {
 				for b := 0; b < req.Bins; b++ {
 					for si, k := range regionIdx {
@@ -191,13 +207,16 @@ func (f *Framework) Explore(req ExplorationRequest) (*Exploration, error) {
 			// Fall through to the per-bin path on any series failure.
 		}
 		for b := 0; b < req.Bins; b++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			end := req.Start + int64(b+1)*width
 			if b == req.Bins-1 {
 				end = req.End
 			}
 			binReq := creq
 			binReq.Time = &core.TimeFilter{Start: out.BinStarts[b], End: end}
-			res, err := f.Execute(binReq)
+			res, err := f.ExecuteContext(ctx, binReq)
 			if err != nil {
 				return nil, err
 			}
