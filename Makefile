@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench fuzz stress stats-smoke verify
+.PHONY: build test race vet lint bench fuzz stress stats-smoke parallel-race verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ fuzz:
 	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadGeoJSON$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
+
+# Parallel point pass and span cache suite under the race detector: the
+# bit-identical property tests (parallel == sequential at every worker
+# count), the cancellation-hygiene tests, and the span cache.
+parallel-race:
+	$(GO) test -race -count=1 \
+		-run 'Parallel|PointWorkers|SpanCache|CompileRegions|Cancel' \
+		./internal/gpu ./internal/raster ./internal/core
 
 # End-to-end deadline smoke test: boot the real server with a 1ms
 # -query-timeout, require a 504 on /api/mapview and a nonzero timeout

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 
 	"sort"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fsum"
 	"repro/internal/geom"
+	"repro/internal/gpu"
 	"repro/internal/index"
 	"repro/internal/urbane"
 	"repro/internal/workload"
@@ -585,6 +588,139 @@ func runE13(scale float64) {
 		t.row(tol, layer.VertexCount(), lat, relErr(res, exact))
 	}
 	t.flush()
+}
+
+// ---------------------------------------------------------------- E16
+
+// pointpassJSON is the machine-readable mirror of E16/E17, written to
+// BENCH_pointpass.json so the perf trajectory is diffable across PRs.
+// Running either experiment rewrites its section and preserves the other.
+type pointpassJSON struct {
+	Cores     int              `json:"cores"`
+	Scaling   []scalingRowJSON `json:"scaling,omitempty"`
+	SpanCache *spanCacheJSON   `json:"span_cache,omitempty"`
+}
+
+type scalingRowJSON struct {
+	Workers      int     `json:"workers"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Speedup      float64 `json:"speedup_vs_sequential"`
+}
+
+type spanCacheJSON struct {
+	Regions     int     `json:"regions"`
+	ColdNsPerOp int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	DisabledNs  int64   `json:"disabled_ns_per_op"`
+	WarmSpeedup float64 `json:"warm_speedup_vs_disabled"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+}
+
+const pointpassFile = "BENCH_pointpass.json"
+
+// mergeBenchJSON read-modify-writes BENCH_pointpass.json so E16 and E17
+// can run independently without clobbering each other's section.
+func mergeBenchJSON(update func(*pointpassJSON)) {
+	var rep pointpassJSON
+	if raw, err := os.ReadFile(pointpassFile); err == nil {
+		_ = json.Unmarshal(raw, &rep) // a stale/corrupt file is overwritten
+	}
+	rep.Cores = runtime.NumCPU()
+	update(&rep)
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile(pointpassFile, append(out, '\n'), 0o644))
+	fmt.Printf("\nwrote %s\n", pointpassFile)
+}
+
+// runE16 measures the parallel sharded point pass: the E1 workload joined
+// with the accurate kernel while the point pass fans out over 1/2/4/8
+// goroutines. Results are bit-identical at every worker count (the stripe
+// replay preserves per-pixel fragment order), so this is purely a
+// throughput experiment; speedup is bounded by available cores.
+func runE16(scale float64) {
+	n := scaled(1_000_000, scale, 100_000)
+	scene := workload.NYC(n, 2009)
+	regions := scene.Neighborhoods
+	req := core.Request{Points: scene.Taxi, Regions: regions, Agg: core.Count,
+		Time: workload.JanWeek(1)}
+	fmt.Printf("workload: %d points, %d neighborhoods, accurate join, %d cores\n",
+		n, regions.Len(), runtime.NumCPU())
+
+	var rows []scalingRowJSON
+	var seqNs int64
+	t := newTable("workers", "latency", "points/sec", "speedup vs workers=1")
+	for _, workers := range []int{1, 2, 4, 8} {
+		rj := core.NewRasterJoin(core.WithResolution(1024), core.WithMode(core.Accurate),
+			core.WithPointWorkers(workers))
+		_, err := rj.Join(req) // warm pools
+		must(err)
+		lat := timeMedian(7, func() { _, err := rj.Join(req); must(err) })
+		if workers == 1 {
+			seqNs = lat.Nanoseconds()
+		}
+		speedup := float64(seqNs) / float64(lat.Nanoseconds())
+		pps := float64(n) / lat.Seconds()
+		t.row(workers, lat, pps, speedup)
+		rows = append(rows, scalingRowJSON{Workers: workers, NsPerOp: lat.Nanoseconds(),
+			PointsPerSec: pps, Speedup: speedup})
+	}
+	t.flush()
+	mergeBenchJSON(func(rep *pointpassJSON) { rep.Scaling = rows })
+}
+
+// ---------------------------------------------------------------- E17
+
+// runE17 measures the cross-query region span cache on a polygon-heavy
+// workload: the 2048-tract layer with a small point load, so pass 2 and
+// the outline pass (the scan-conversion consumers) dominate. Cold pays
+// compilation once; warm queries replay the compiled spans; disabled
+// re-rasterizes every polygon per join. All three produce bit-identical
+// results.
+func runE17(scale float64) {
+	n := scaled(50_000, scale, 20_000)
+	scene := workload.NYC(n, 2009)
+	tracts := scene.Tracts
+	req := core.Request{Points: scene.Taxi, Regions: tracts, Agg: core.Count}
+	fmt.Printf("workload: %d points, %d tracts, accurate join\n", n, tracts.Len())
+
+	// Disabled: every join pays full scan conversion.
+	devOff := gpu.New(gpu.WithSpanCacheBytes(0))
+	off := core.NewRasterJoin(core.WithDevice(devOff), core.WithResolution(1024),
+		core.WithMode(core.Accurate))
+	_, err := off.Join(req) // warm pools
+	must(err)
+	offLat := timeMedian(3, func() { _, err := off.Join(req); must(err) })
+
+	// Enabled: the first join compiles and caches (cold), repeats replay.
+	devOn := gpu.New()
+	on := core.NewRasterJoin(core.WithDevice(devOn), core.WithResolution(1024),
+		core.WithMode(core.Accurate))
+	coldLat := timeMedian(1, func() { _, err := on.Join(req); must(err) })
+	warmLat := timeMedian(3, func() { _, err := on.Join(req); must(err) })
+	st := devOn.SpanCache().Stats()
+
+	t := newTable("cache state", "latency", "speedup vs disabled")
+	t.row("disabled", offLat, 1.0)
+	t.row("cold (compile + join)", coldLat, float64(offLat)/float64(coldLat))
+	t.row("warm (span replay)", warmLat, float64(offLat)/float64(warmLat))
+	t.flush()
+	fmt.Printf("\nspan cache: %d entries, %d bytes, %d hits / %d misses\n",
+		st.Entries, st.Bytes, st.Hits, st.Misses)
+
+	mergeBenchJSON(func(rep *pointpassJSON) {
+		rep.SpanCache = &spanCacheJSON{
+			Regions:     tracts.Len(),
+			ColdNsPerOp: coldLat.Nanoseconds(),
+			WarmNsPerOp: warmLat.Nanoseconds(),
+			DisabledNs:  offLat.Nanoseconds(),
+			WarmSpeedup: float64(offLat) / float64(warmLat),
+			CacheHits:   st.Hits,
+			CacheMisses: st.Misses,
+		}
+	})
 }
 
 func must(err error) {

@@ -43,6 +43,8 @@ var experiments = []experiment{
 	{"E11", "OD flow view: raster flow join vs geometric baseline", runE11},
 	{"E12", "Filter selectivity: ad-hoc constraints cost nothing extra", runE12},
 	{"E13", "Polygon level-of-detail: simplification tolerance ablation", runE13},
+	{"E16", "Parallel sharded point pass: worker scaling, bit-identical results", runE16},
+	{"E17", "Region span cache: cold vs warm vs disabled on the tract layer", runE17},
 }
 
 func main() {
@@ -125,11 +127,11 @@ func timeMedian(reps int, fn func()) time.Duration {
 	return times[len(times)/2]
 }
 
-// scaled returns base*scale, at least min.
-func scaled(base int, scale float64, min int) int {
+// scaled returns base*scale, at least floor.
+func scaled(base int, scale float64, floor int) int {
 	n := int(float64(base) * scale)
-	if n < min {
-		n = min
+	if n < floor {
+		n = floor
 	}
 	return n
 }

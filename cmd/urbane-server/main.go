@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/gpu"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -72,6 +73,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	timeSnap := fs.Int64("time-snap", 1, "snap time filters outward to this granularity in seconds (1 = off)")
 	queryTimeout := fs.Duration("query-timeout", 0, "per-request query deadline; exceeded queries abort mid-join and return 504 (0 = unbounded)")
 	pointBatch := fs.Int("point-batch", 0, "max point vertices per draw call — the cancellation granularity of the point pass (0 = one draw)")
+	pointWorkers := fs.Int("point-workers", 0, "goroutines sharding the point pass; results are identical at any setting (0 = GOMAXPROCS, 1 = sequential)")
+	spanCacheBytes := fs.Int64("span-cache-bytes", gpu.DefaultSpanCacheBytes, "region span cache capacity in bytes — compiled polygon rasterizations reused across queries (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,8 +92,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	if *accurate {
 		mode = core.Accurate
 	}
-	f := urbane.New(core.NewRasterJoin(core.WithMode(mode), core.WithResolution(*resolution),
-		core.WithPointBatch(*pointBatch)))
+	dev := gpu.New(gpu.WithSpanCacheBytes(*spanCacheBytes))
+	f := urbane.New(core.NewRasterJoin(core.WithDevice(dev),
+		core.WithMode(mode), core.WithResolution(*resolution),
+		core.WithPointBatch(*pointBatch), core.WithPointWorkers(*pointWorkers)))
 	for _, err := range []error{
 		f.AddPointSet(scene.Taxi),
 		f.AddPointSet(aux[0]),

@@ -102,6 +102,33 @@ func partialMerge(items []int) int {
 	return total
 }
 
+// Per-worker shard matrix, the parallel point pass pattern: worker t owns
+// every slot buckets[w*workers+t] for its own t, so concurrent appends
+// never alias; the parent reads only after Wait.
+func shardMatrixMerge(items []int, workers int) []int {
+	buckets := make([][]int, workers*workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for w := 0; w < workers; w++ {
+				for _, it := range items {
+					if it%workers == t {
+						buckets[w*workers+t] = append(buckets[w*workers+t], it)
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	var merged []int
+	for _, b := range buckets {
+		merged = append(merged, b...)
+	}
+	return merged
+}
+
 // Suppressed: an audited intentional pattern stays quiet under
 // //lint:ignore with a reason.
 func suppressed(items []int) int {

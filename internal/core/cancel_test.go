@@ -125,7 +125,10 @@ func TestJoinContextPreExpiredDeadline(t *testing.T) {
 // TestMultiJoinContextCancelReleasesResources: the multi-aggregate join's
 // per-spec textures all return to the pool on abort.
 func TestMultiJoinContextCancelReleasesResources(t *testing.T) {
-	ps, rs := scene(50_000, 12, 227)
+	// 200k points: the span cache front-loads polygon scan-conversion, so
+	// the window between the first batch and join completion is the point
+	// pass alone — keep it wide enough that cancel reliably lands inside.
+	ps, rs := scene(200_000, 12, 227)
 	dev := gpu.New()
 	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(512),
 		core.WithPointBatch(512))

@@ -294,8 +294,8 @@ func PointPredicate(req Request) (lo, hi int, pred func(i int) bool, err error) 
 		if col == nil {
 			return 0, 0, nil, fmt.Errorf("core: filter attribute %q missing", f.Attr)
 		}
-		min, max := f.Min, f.Max
-		tests = append(tests, func(i int) bool { return col[i] >= min && col[i] < max })
+		fmin, fmax := f.Min, f.Max
+		tests = append(tests, func(i int) bool { return col[i] >= fmin && col[i] < fmax })
 	}
 	switch len(tests) {
 	case 0:

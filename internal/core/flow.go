@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/raster"
@@ -134,6 +135,10 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	// ID pass: first-drawn region owns each pixel. In accurate mode a
 	// region's fragments in its own boundary pixels are withheld, and per-
 	// boundary-pixel candidate lists drive exact resolution.
+	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+	if err != nil {
+		return nil, err
+	}
 	w := c.T.W
 	ids := make([]int32, c.T.W*c.T.H)
 	for i := range ids {
@@ -145,7 +150,7 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
 		slotOf = make([]int32, c.T.W*c.T.H)
 		for i := range slotOf {
 			slotOf[i] = -1
@@ -172,7 +177,7 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 				scratch.Set(int(idx)%w, int(idx)/w)
 			}
 		}
-		c.DrawPolygon(regions[k].Poly, func(px, py int) {
+		drawRegion(c, sp, regions[k].Poly, k, func(px, py int) {
 			if scratch != nil && scratch.Get(px, py) {
 				return
 			}
@@ -215,44 +220,97 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	// the shader; they are outside every region and count as dropped. The
 	// pass streams in pointBatch-sized draws, checking cancellation between
 	// batches like the other joins.
+	//
+	// The shader writes the OD matrix — region-keyed, not pixel-keyed — so
+	// the parallel path shards the point range with a whole partial matrix
+	// per worker, merged in shard order after the barrier. Every cell is an
+	// int64 count, so the merge is exact and the result is identical to the
+	// sequential pass regardless of worker count.
 	ps := req.Points
-	batch := r.pointBatch
-	if batch <= 0 {
-		batch = hi - lo
+	n := hi - lo
+	workers := r.pointWorkers
+	if workers > 1 && n < 4096 {
+		workers = 1
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	shard := (n + workers - 1) / workers
+	if shard < 1 {
+		shard = 1
+	}
+	type flowPartial struct {
+		counts            map[int64]int64
+		dropped, filtered int64
+		shaded            int64
+	}
+	// Race audit (sharedwrite-clean): each goroutine writes only the partial
+	// it receives as an argument; ids, slotOf, candidates and the locate
+	// closure's state are frozen before the fan-out and only read here.
+	// Partials merge after wg.Wait().
+	parts := make([]*flowPartial, 0, workers)
+	var wg sync.WaitGroup
 	tr := trace.FromContext(ctx)
-	shaded := int64(0)
-	for s := lo; s < hi; s += batch {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		e := s + batch
+	for s := lo; s < hi; s += shard {
+		e := s + shard
 		if e > hi {
 			e = hi
 		}
-		base := s
-		c.DrawPoints(e-s,
-			func(j int) (float64, float64) { i := base + j; return ps.X[i], ps.Y[i] },
-			func(px, py, j int) {
-				shaded++
-				i := base + j
-				if pred != nil && !pred(i) {
-					out.Filtered++
+		p := &flowPartial{counts: make(map[int64]int64)}
+		parts = append(parts, p)
+		wg.Add(1)
+		go func(lo, hi int, p *flowPartial) {
+			defer wg.Done()
+			batch := r.pointBatch
+			if batch <= 0 {
+				batch = hi - lo
+			}
+			for s := lo; s < hi; s += batch {
+				if ctx.Err() != nil {
 					return
 				}
-				o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
-				if o < 0 {
-					out.Dropped++
-					return
+				e := s + batch
+				if e > hi {
+					e = hi
 				}
-				d := locate(geom.Point{X: dx[i], Y: dy[i]})
-				if d < 0 {
-					out.Dropped++
-					return
-				}
-				out.Counts[int64(o)*int64(nr)+int64(d)]++
-			})
-		tr.Count("batches", 1)
+				base := s
+				c.DrawPoints(e-s,
+					func(j int) (float64, float64) { i := base + j; return ps.X[i], ps.Y[i] },
+					func(px, py, j int) {
+						p.shaded++
+						i := base + j
+						if pred != nil && !pred(i) {
+							p.filtered++
+							return
+						}
+						o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
+						if o < 0 {
+							p.dropped++
+							return
+						}
+						d := locate(geom.Point{X: dx[i], Y: dy[i]})
+						if d < 0 {
+							p.dropped++
+							return
+						}
+						p.counts[int64(o)*int64(nr)+int64(d)]++
+					})
+				tr.Count("batches", 1)
+			}
+		}(s, e, p)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var shaded int64
+	for _, p := range parts {
+		shaded += p.shaded
+		out.Filtered += p.filtered
+		out.Dropped += p.dropped
+		for cell, v := range p.counts {
+			out.Counts[cell] += v
+		}
 	}
 	out.Dropped += int64(hi-lo) - shaded
 	return out, nil

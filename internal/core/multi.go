@@ -153,12 +153,17 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 	w, h := c.T.W, c.T.H
 	ps := req.Points
 
+	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+	if err != nil {
+		return err
+	}
+
 	var slotOf []int32
 	var bins [][]int32
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
 		slotOf = make([]int32, w*h)
 		for i := range slotOf {
 			slotOf[i] = -1
@@ -185,7 +190,7 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 			sumTex[s] = r.dev.AcquireTexture(w, h)
 		}
 	}
-	err := r.drawPointsBatched(ctx, c, lo, hi,
+	err = r.drawPointsBatchedParallel(ctx, c, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if globalPred != nil && !globalPred(i) {
@@ -230,7 +235,7 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 				scratch.Set(int(idx)%w, int(idx)/w)
 			}
 		}
-		c.DrawPolygon(poly, func(px, py int) {
+		drawRegion(c, sp, poly, k, func(px, py int) {
 			if scratch != nil && scratch.Get(px, py) {
 				return
 			}

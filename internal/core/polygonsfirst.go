@@ -99,6 +99,13 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 	regions := req.Regions.Regions
 	minMax := req.Agg == Min || req.Agg == Max
 
+	// Compiled region spans for the ID and outline passes (nil when the
+	// span cache is disabled).
+	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+	if err != nil {
+		return err
+	}
+
 	// Accurate mode: outline pass first, then candidate lists per boundary
 	// pixel (the regions whose edges cross it).
 	var slotOf []int32
@@ -106,7 +113,7 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
 		slotOf = make([]int32, w*h)
 		for i := range slotOf {
 			slotOf[i] = -1
@@ -143,7 +150,7 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 				scratch.Set(int(idx)%w, int(idx)/w)
 			}
 		}
-		c.DrawPolygon(regions[k].Poly, func(px, py int) {
+		drawRegion(c, sp, regions[k].Poly, k, func(px, py int) {
 			if scratch != nil && scratch.Get(px, py) {
 				return
 			}
@@ -158,8 +165,11 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 
 	// Pass 2: stream the points, sharded across workers with per-shard
 	// accumulators (the GPU uses atomics; shard-merge is the deterministic
-	// software analogue).
-	workers := r.workers
+	// software analogue). The shader writes region-keyed slots, so this pass
+	// cannot use the pixel-striped DrawPointsParallel merge; it shards the
+	// accumulators themselves instead, with the shard count following the
+	// same -point-workers knob.
+	workers := r.pointWorkers
 	n := hi - lo
 	if workers > 1 && n < 4096 {
 		workers = 1

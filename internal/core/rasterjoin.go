@@ -40,13 +40,14 @@ func (m Mode) String() string {
 // RasterJoin evaluates spatial aggregations on the GPU device by drawing.
 // Construct with NewRasterJoin; the zero value is not usable.
 type RasterJoin struct {
-	dev        *gpu.Device
-	mode       Mode
-	strategy   Strategy
-	resolution int
-	epsilon    float64
-	workers    int
-	pointBatch int
+	dev          *gpu.Device
+	mode         Mode
+	strategy     Strategy
+	resolution   int
+	epsilon      float64
+	workers      int
+	pointWorkers int
+	pointBatch   int
 }
 
 // RJOption configures a RasterJoin.
@@ -89,6 +90,18 @@ func WithWorkers(n int) RJOption {
 	return func(r *RasterJoin) {
 		if n > 0 {
 			r.workers = n
+		}
+	}
+}
+
+// WithPointWorkers caps point-pass parallelism (default: GOMAXPROCS).
+// The point pass shards the vertex range across this many goroutines;
+// results are bit-identical to the sequential pass regardless of the
+// setting. 1 forces the sequential pass.
+func WithPointWorkers(n int) RJOption {
+	return func(r *RasterJoin) {
+		if n > 0 {
+			r.pointWorkers = n
 		}
 	}
 }
@@ -136,12 +149,87 @@ func (r *RasterJoin) drawPointsBatched(ctx context.Context, c *gpu.Canvas, lo, h
 	return nil
 }
 
+// drawPointsBatchedParallel is drawPointsBatched on the sharded point pass:
+// each batch fans out across r.pointWorkers goroutines via
+// Canvas.DrawPointsParallel. It requires the DrawPointsParallel safety
+// contract — shader writes keyed by the fragment's pixel — which holds for
+// the texture-and-bin shaders of the standard, series, streaming, and multi
+// joiners. Passes with region-keyed accumulators (polygons-first, flow)
+// shard those accumulators per worker instead and keep the sequential draw.
+func (r *RasterJoin) drawPointsBatchedParallel(ctx context.Context, c *gpu.Canvas, lo, hi int,
+	pos func(i int) (float64, float64), shader func(px, py, i int)) error {
+
+	workers := r.pointWorkers
+	if workers <= 1 {
+		return r.drawPointsBatched(ctx, c, lo, hi, pos, shader)
+	}
+	batch := r.pointBatch
+	if batch <= 0 {
+		batch = hi - lo
+	}
+	tr := trace.FromContext(ctx)
+	for s := lo; s < hi; s += batch {
+		e := s + batch
+		if e > hi {
+			e = hi
+		}
+		base := s
+		err := c.DrawPointsParallel(ctx, workers, e-s,
+			func(j int) (float64, float64) { return pos(base + j) },
+			func(px, py, j int) { shader(px, py, base+j) })
+		if err != nil {
+			return err
+		}
+		tr.Count("batches", 1)
+	}
+	return nil
+}
+
+// cachedSpans returns the compiled scanline spans for the region set on
+// transform t, consulting the device's span cache. A nil result with nil
+// error means the cache is disabled and callers should rasterize directly.
+// Compilation respects ctx; the hit/miss is recorded on the request trace.
+func (r *RasterJoin) cachedSpans(ctx context.Context, regions *data.RegionSet, t raster.Transform) (*raster.RegionSpans, error) {
+	cache := r.dev.SpanCache()
+	if !cache.Enabled() {
+		return nil, nil
+	}
+	key := raster.SpanKey{Owner: regions.Stamp(), T: t}
+	if sp, ok := cache.Get(key); ok {
+		trace.FromContext(ctx).Count("span_cache_hits", 1)
+		return sp, nil
+	}
+	polys := make([]geom.Polygon, regions.Len())
+	for k := range regions.Regions {
+		polys[k] = regions.Regions[k].Poly
+	}
+	sp, err := raster.CompileRegions(ctx, t, polys)
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, sp)
+	trace.FromContext(ctx).Count("span_cache_misses", 1)
+	return sp, nil
+}
+
+// drawRegion shades region k's fill fragments: replayed from compiled spans
+// when sp is non-nil, scan-converted directly otherwise. Both paths visit
+// the same pixels in the same row-major order, so results are identical.
+func drawRegion(c *gpu.Canvas, sp *raster.RegionSpans, poly geom.Polygon, k int, shader gpu.FragmentShader) {
+	if sp != nil {
+		c.DrawSpans(sp.Fill(k), shader)
+		return
+	}
+	c.DrawPolygon(poly, shader)
+}
+
 // NewRasterJoin returns a configured raster joiner.
 func NewRasterJoin(opts ...RJOption) *RasterJoin {
 	r := &RasterJoin{
-		mode:       Approximate,
-		resolution: 1024,
-		workers:    runtime.GOMAXPROCS(0),
+		mode:         Approximate,
+		resolution:   1024,
+		workers:      runtime.GOMAXPROCS(0),
+		pointWorkers: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(r)
@@ -255,6 +343,14 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 	w, h := c.T.W, c.T.H
 	ps := req.Points
 
+	// Compiled region spans (cache hit or one-time compile). nil when the
+	// span cache is disabled — every draw below then falls back to direct
+	// scanline rasterization, which visits identical pixels.
+	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+	if err != nil {
+		return err
+	}
+
 	// Accurate: outline pass first — point binning below needs to know
 	// which pixels are boundary pixels for some region. slotOf maps a
 	// boundary pixel's index to a dense bucket slot (-1 elsewhere), so the
@@ -264,7 +360,7 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
 		slotOf = make([]int32, w*h)
 		for i := range slotOf {
 			slotOf[i] = -1
@@ -295,7 +391,7 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 		defer r.dev.ReleaseTexture(maxTex)
 		maxTex.Fill(math.Inf(-1))
 	}
-	err := r.drawPointsBatched(ctx, c, lo, hi,
+	err = r.drawPointsBatchedParallel(ctx, c, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if pred != nil && !pred(i) {
@@ -359,7 +455,7 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 						scratch.Set(int(idx)%w, int(idx)/w)
 					}
 				}
-				c.DrawPolygon(poly, func(px, py int) {
+				drawRegion(c, sp, poly, k, func(px, py int) {
 					if scratch != nil && scratch.Get(px, py) {
 						return // boundary fragment: resolved exactly below
 					}
@@ -412,12 +508,31 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 
 // outlinePass conservatively rasterizes every region's boundary, returning
 // the deduplicated union list of boundary pixel indices and, per region,
-// its own deduplicated boundary pixel indices within this tile.
-func (r *RasterJoin) outlinePass(c *gpu.Canvas, regions *data.RegionSet) ([]int32, [][]int32) {
+// its own deduplicated boundary pixel indices within this tile. When
+// compiled spans are supplied, per-region lists replay from the cache
+// (already deduplicated in first-visit order, so the results — including
+// list ordering — match the direct trace exactly).
+func (r *RasterJoin) outlinePass(c *gpu.Canvas, regions *data.RegionSet, sp *raster.RegionSpans) ([]int32, [][]int32) {
 	w, h := c.T.W, c.T.H
 	global := raster.NewBitmap(w, h)
 	var globalList []int32
 	per := make([][]int32, regions.Len())
+	if sp != nil {
+		for k := range regions.Regions {
+			pixels := sp.Boundary(k)
+			if len(pixels) == 0 {
+				continue
+			}
+			c.DrawPixels(pixels, func(px, py int) {
+				if !global.Get(px, py) {
+					global.Set(px, py)
+					globalList = append(globalList, int32(py*w+px))
+				}
+			})
+			per[k] = pixels
+		}
+		return globalList, per
+	}
 	scratch := raster.NewBitmap(w, h)
 	var touched []int32
 	for k := range regions.Regions {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/gpu"
 )
 
 func BenchmarkRasterJoinModes(b *testing.B) {
@@ -104,6 +105,59 @@ func BenchmarkJoinContextOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkPointPassScaling shards the accurate join's point pass across
+// goroutines (E16 in EXPERIMENTS.md): the E1-style workload at 1 M points,
+// worker counts 1/2/4/8. Results are bit-identical at every setting, so
+// this is a pure throughput knob; scaling tracks available cores.
+func BenchmarkPointPassScaling(b *testing.B) {
+	ps, rs := scene(1_000_000, 32, 113)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		rj := core.NewRasterJoin(core.WithResolution(1024), core.WithMode(core.Accurate),
+			core.WithPointWorkers(workers))
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := rj.JoinContext(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ps.Len())*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkSpanCacheWarm isolates the region span cache (E17): a
+// polygon-heavy accurate join (2048 tract-scale regions, few points) with
+// the cache disabled (scan conversion every join) versus warm (pass 2 and
+// the outline pass replay compiled spans).
+func BenchmarkSpanCacheWarm(b *testing.B) {
+	ps, rs := scene(5_000, 2048, 115)
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	run := func(b *testing.B, rj *core.RasterJoin) {
+		ctx := context.Background()
+		if _, err := rj.JoinContext(ctx, req); err != nil { // warm pools (and cache, when enabled)
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rj.JoinContext(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		dev := gpu.New(gpu.WithSpanCacheBytes(0))
+		run(b, core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(1024),
+			core.WithMode(core.Accurate)))
+	})
+	b.Run("warm", func(b *testing.B) {
+		dev := gpu.New()
+		run(b, core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(1024),
+			core.WithMode(core.Accurate)))
 	})
 }
 

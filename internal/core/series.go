@@ -61,12 +61,16 @@ func (r *RasterJoin) BuildFragmentCacheContext(ctx context.Context, regions *dat
 		return nil, fmt.Errorf("core: fragment cache: %w (reduce the resolution)", err)
 	}
 	defer c.Release()
+	sp, err := r.cachedSpans(ctx, regions, c.T)
+	if err != nil {
+		return nil, err
+	}
 	fc := &FragmentCache{T: c.T, start: make([]int32, regions.Len()+1)}
 	for k := range regions.Regions {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c.DrawPolygon(regions.Regions[k].Poly, func(px, py int) {
+		drawRegion(c, sp, regions.Regions[k].Poly, k, func(px, py int) {
 			fc.frags = append(fc.frags, int32(py*c.T.W+px))
 		})
 		fc.start[k+1] = int32(len(fc.frags))
@@ -163,8 +167,12 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 	var regionPixels [][]int32
 	interior := fc
 	if r.mode == Accurate {
+		sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+		if err != nil {
+			return nil, err
+		}
 		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions)
+		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
 		slotOf = make([]int32, fc.T.W*fc.T.H)
 		for i := range slotOf {
 			slotOf[i] = -1
@@ -210,7 +218,7 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 			t := ps.T
 			timePred = func(i int) bool { return t[i] >= binStart && t[i] < binEnd }
 		}
-		c.DrawPoints(hi-lo,
+		err = c.DrawPointsParallel(ctx, r.pointWorkers, hi-lo,
 			func(j int) (float64, float64) { i := lo + j; return ps.X[i], ps.Y[i] },
 			func(px, py, j int) {
 				i := lo + j
@@ -230,6 +238,9 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 					}
 				}
 			})
+		if err != nil {
+			return nil, err
+		}
 
 		// Polygon pass from the cache, parallel across regions.
 		stats := out.Stats[b]

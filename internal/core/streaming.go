@@ -35,6 +35,7 @@ type StreamJoin struct {
 	minTex   *gpu.Texture
 	maxTex   *gpu.Texture
 
+	sp           *raster.RegionSpans
 	slotOf       []int32
 	regionPixels [][]int32
 	bins         [][]obs
@@ -72,10 +73,16 @@ func (r *RasterJoin) NewStream(regions *data.RegionSet, agg Agg, attr string,
 	if err != nil {
 		return nil, fmt.Errorf("core: streaming join: %w (reduce the resolution)", err)
 	}
+	sp, err := r.cachedSpans(context.Background(), regions, c.T)
+	if err != nil {
+		c.Release()
+		return nil, err
+	}
 	s := &StreamJoin{
 		r: r, regions: regions, agg: agg, attr: attr,
 		filters: filters, time: tf,
 		canvas:   c,
+		sp:       sp,
 		countTex: r.dev.AcquireTexture(c.T.W, c.T.H),
 	}
 	switch agg {
@@ -90,7 +97,7 @@ func (r *RasterJoin) NewStream(regions *data.RegionSet, agg Agg, attr string,
 	}
 	if r.mode == Accurate {
 		var boundaryList []int32
-		boundaryList, s.regionPixels = r.outlinePass(c, regions)
+		boundaryList, s.regionPixels = r.outlinePass(c, regions, sp)
 		s.slotOf = make([]int32, c.T.W*c.T.H)
 		for i := range s.slotOf {
 			s.slotOf[i] = -1
@@ -132,7 +139,7 @@ func (s *StreamJoin) AddContext(ctx context.Context, ps *data.PointSet) error {
 		attr = ps.Attr(s.attr)
 	}
 	w := s.canvas.T.W
-	err = s.r.drawPointsBatched(ctx, s.canvas, lo, hi,
+	err = s.r.drawPointsBatchedParallel(ctx, s.canvas, lo, hi,
 		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
 		func(px, py, i int) {
 			if pred != nil && !pred(i) {
@@ -227,7 +234,7 @@ func (s *StreamJoin) FinalizeContext(ctx context.Context) (*Result, error) {
 				scratch.Set(int(idx)%w, int(idx)/w)
 			}
 		}
-		s.canvas.DrawPolygon(poly, func(px, py int) {
+		drawRegion(s.canvas, s.sp, poly, k, func(px, py int) {
 			if scratch != nil && scratch.Get(px, py) {
 				return
 			}

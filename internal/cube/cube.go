@@ -68,12 +68,12 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 	c := &Cube{cfg: cfg, points: ps, nr: cfg.Regions.Len()}
 
 	if cfg.TimeBin > 0 && ps.T != nil && ps.Len() > 0 {
-		min, max, _ := ps.TimeRange()
-		c.start = (min / cfg.TimeBin) * cfg.TimeBin
-		if min < 0 && c.start > min {
+		tmin, tmax, _ := ps.TimeRange()
+		c.start = (tmin / cfg.TimeBin) * cfg.TimeBin
+		if tmin < 0 && c.start > tmin {
 			c.start -= cfg.TimeBin
 		}
-		c.bins = int((max-c.start)/cfg.TimeBin) + 1
+		c.bins = int((tmax-c.start)/cfg.TimeBin) + 1
 	} else {
 		c.bins = 1
 	}

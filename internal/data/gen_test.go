@@ -27,11 +27,11 @@ func TestGenerateTaxiBasics(t *testing.T) {
 		t.Errorf("points escape bounds: %v vs %v", ps.Bounds(), bounds)
 	}
 	// Timestamps inside January 2009 and sorted.
-	min, max, _ := ps.TimeRange()
+	tmin, tmax, _ := ps.TimeRange()
 	jan1 := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
 	feb1 := time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC).Unix()
-	if min < jan1 || max >= feb1 {
-		t.Errorf("time range [%d,%d] outside January 2009", min, max)
+	if tmin < jan1 || tmax >= feb1 {
+		t.Errorf("time range [%d,%d] outside January 2009", tmin, tmax)
 	}
 	for i := 1; i < ps.Len(); i++ {
 		if ps.T[i-1] > ps.T[i] {

@@ -87,9 +87,9 @@ func TestBounds(t *testing.T) {
 
 func TestTimeRange(t *testing.T) {
 	ps := smallSet()
-	min, max, ok := ps.TimeRange()
-	if !ok || min != 10 || max != 40 {
-		t.Errorf("TimeRange = %d,%d,%v want 10,40,true", min, max, ok)
+	tmin, tmax, ok := ps.TimeRange()
+	if !ok || tmin != 10 || tmax != 40 {
+		t.Errorf("TimeRange = %d,%d,%v want 10,40,true", tmin, tmax, ok)
 	}
 	if _, _, ok := (&PointSet{X: []float64{1}, Y: []float64{1}}).TimeRange(); ok {
 		t.Error("no time column should report !ok")

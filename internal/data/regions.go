@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -21,6 +22,27 @@ type Region struct {
 type RegionSet struct {
 	Name    string
 	Regions []Region
+
+	stamp atomic.Uint64
+}
+
+// regionSetStamps issues process-unique RegionSet identities; 0 is reserved
+// for "not yet stamped".
+var regionSetStamps atomic.Uint64
+
+// Stamp returns a process-unique identity for this region set, assigned
+// lazily on first call. Caches keyed by geometry use it instead of the Name
+// (names can be reused across re-registered layers) — callers must treat
+// the Regions slice as immutable once the set is stamped.
+func (rs *RegionSet) Stamp() uint64 {
+	if s := rs.stamp.Load(); s != 0 {
+		return s
+	}
+	s := regionSetStamps.Add(1)
+	if rs.stamp.CompareAndSwap(0, s) {
+		return s
+	}
+	return rs.stamp.Load()
 }
 
 // Len returns the number of regions.

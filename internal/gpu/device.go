@@ -33,6 +33,8 @@ type Stats struct {
 // Device is a software GPU. The zero value is not usable; call New.
 type Device struct {
 	maxTextureSize int
+	spanCacheBytes int64
+	spans          *raster.SpanCache
 
 	drawCalls       atomic.Int64
 	passes          atomic.Int64
@@ -70,17 +72,34 @@ func WithMaxTextureSize(n int) Option {
 // simulation's memory footprint modest.
 const DefaultMaxTextureSize = 4096
 
+// DefaultSpanCacheBytes bounds the region span cache: enough for dozens of
+// compiled layers at map-view resolutions without pinning real memory.
+const DefaultSpanCacheBytes int64 = 64 << 20
+
+// WithSpanCacheBytes sizes the device's region span cache (0 disables it).
+// The cache holds compiled polygon rasterizations — scanline span lists —
+// keyed by (region-set stamp, transform), so repeated queries over a fixed
+// layer replay spans instead of re-scan-converting every polygon.
+func WithSpanCacheBytes(n int64) Option {
+	return func(d *Device) { d.spanCacheBytes = n }
+}
+
 // New returns a ready device.
 func New(opts ...Option) *Device {
-	d := &Device{maxTextureSize: DefaultMaxTextureSize}
+	d := &Device{maxTextureSize: DefaultMaxTextureSize, spanCacheBytes: DefaultSpanCacheBytes}
 	for _, o := range opts {
 		o(d)
 	}
+	d.spans = raster.NewSpanCache(d.spanCacheBytes)
 	return d
 }
 
 // MaxTextureSize returns the largest canvas dimension the device accepts.
 func (d *Device) MaxTextureSize() int { return d.maxTextureSize }
+
+// SpanCache returns the device's region span cache (nil — a valid disabled
+// cache — when the device was built with WithSpanCacheBytes(0)).
+func (d *Device) SpanCache() *raster.SpanCache { return d.spans }
 
 // Stats returns a snapshot of the device's counters.
 func (d *Device) Stats() Stats {
@@ -291,9 +310,33 @@ func (c *Canvas) DrawPolygonOutline(pg geom.Polygon, shader FragmentShader) {
 	c.dev.fragmentsShaded.Add(shaded)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// DrawSpans replays one region's precompiled fill spans — the span-cache
+// warm path of the polygon pass. Fragment order matches DrawPolygon on the
+// geometry the spans were compiled from: row-major, left-to-right, so
+// results are bit-identical to a direct draw.
+func (c *Canvas) DrawSpans(spans []raster.Span, shader FragmentShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.polygonsIn.Add(1)
+	var shaded int64
+	for _, s := range spans {
+		for px := s.X0; px < s.X1; px++ {
+			shaded++
+			shader(int(px), int(s.Y))
+		}
 	}
-	return b
+	c.dev.fragmentsShaded.Add(shaded)
+}
+
+// DrawPixels replays a precompiled pixel-index list — the span-cache warm
+// path of the outline pass. Unlike DrawPolygonOutline's conservative trace,
+// the list is already deduplicated, so the shader runs exactly once per
+// boundary pixel, in the compiled first-visit order.
+func (c *Canvas) DrawPixels(pixels []int32, shader FragmentShader) {
+	c.dev.drawCalls.Add(1)
+	c.dev.polygonsIn.Add(1)
+	w := c.T.W
+	for _, idx := range pixels {
+		shader(int(idx)%w, int(idx)/w)
+	}
+	c.dev.fragmentsShaded.Add(int64(len(pixels)))
 }

@@ -81,8 +81,8 @@ func TileAt(ll LngLat, zoom int) Tile {
 	lat := clamp(ll.Lat, -MaxLatitude, MaxLatitude) * math.Pi / 180
 	x := int(math.Floor((ll.Lng + 180) / 360 * n))
 	y := int(math.Floor((1 - math.Log(math.Tan(lat)+1/math.Cos(lat))/math.Pi) / 2 * n))
-	max := int(n) - 1
-	return Tile{Z: zoom, X: clampInt(x, 0, max), Y: clampInt(y, 0, max)}
+	last := int(n) - 1
+	return Tile{Z: zoom, X: clampInt(x, 0, last), Y: clampInt(y, 0, last)}
 }
 
 // BBox returns the tile's extent in Web-Mercator meters.

@@ -14,6 +14,19 @@ import (
 // Holes are handled by the even-odd rule: hole edges flip coverage exactly
 // like outer edges.
 func FillPolygon(t Transform, pg geom.Polygon, visit func(px, py int)) {
+	FillPolygonSpans(t, pg, func(py, x0, x1 int) {
+		for px := x0; px < x1; px++ {
+			visit(px, py)
+		}
+	})
+}
+
+// FillPolygonSpans is the span-level form of FillPolygon: visit receives
+// each covered scanline run as pixels [x0, x1) of row py, in row-major
+// order. Expanding every span left-to-right yields exactly FillPolygon's
+// pixel sequence — the span compiler banks these runs so repeated queries
+// replay them instead of re-scan-converting the polygon.
+func FillPolygonSpans(t Transform, pg geom.Polygon, visit func(py, x0, x1 int)) {
 	bb := pg.BBox().Intersect(t.World)
 	if bb.IsEmpty() {
 		return
@@ -41,7 +54,10 @@ func FillPolygon(t Transform, pg geom.Polygon, visit func(px, py int)) {
 		}
 		sort.Float64s(xs)
 		for i := 0; i+1 < len(xs); i += 2 {
-			fillSpan(t, xs[i], xs[i+1], py, visit)
+			x0, x1 := spanBounds(t, xs[i], xs[i+1])
+			if x0 < x1 {
+				visit(py, x0, x1)
+			}
 		}
 	}
 }
@@ -76,20 +92,19 @@ func ringCrossings(r geom.Ring, cy float64, xs []float64) []float64 {
 	return xs
 }
 
-// fillSpan visits pixels in row py whose centers fall in [x0, x1).
-func fillSpan(t Transform, x0, x1 float64, py int, visit func(px, py int)) {
+// spanBounds converts a world-space crossing pair into the pixel run whose
+// centers fall in [x0, x1), clamped to the grid.
+func spanBounds(t Transform, x0, x1 float64) (start, end int) {
 	pw := t.PixelWidth()
-	start := firstCenterIdx(x0-t.World.MinX, pw)
-	end := firstCenterIdx(x1-t.World.MinX, pw) // exclusive
+	start = firstCenterIdx(x0-t.World.MinX, pw)
+	end = firstCenterIdx(x1-t.World.MinX, pw) // exclusive
 	if start < 0 {
 		start = 0
 	}
 	if end > t.W {
 		end = t.W
 	}
-	for px := start; px < end; px++ {
-		visit(px, py)
-	}
+	return start, end
 }
 
 // firstCenterIdx returns the index of the first pixel whose center

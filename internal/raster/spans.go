@@ -1,0 +1,248 @@
+// Region span compilation: the polygon side of a raster join is static
+// across queries — the same layers are drawn at the same transforms every
+// time the user drags a slider — so the scanline work (edge crossings,
+// sorting, grid traversal) can be paid once and replayed as flat span
+// lists. This is the software analogue of caching the polygon pass's
+// fragment stream, and follows GeoBlocks' observation that precomputed
+// polygon-side structures are the decisive lever for repeated aggregation
+// over fixed region sets.
+package raster
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// Span is one covered scanline run: pixels [X0, X1) of row Y.
+type Span struct {
+	Y, X0, X1 int32
+}
+
+// RegionSpans is the compiled scanline form of one region layer on one
+// canvas transform: per-region fill spans and per-region deduplicated
+// boundary pixel lists, both in CSR layout. Replaying Fill(k) left-to-right
+// visits exactly the pixels FillPolygon visits for region k, in the same
+// order; Boundary(k) lists the pixels BoundaryPixels would visit, in
+// first-visit order with duplicates removed (the form every consumer
+// reduces the conservative trace to anyway).
+type RegionSpans struct {
+	// T is the transform the spans were compiled on.
+	T Transform
+
+	fillStart  []int32
+	fill       []Span
+	boundStart []int32
+	bound      []int32
+}
+
+// Regions returns the number of compiled regions.
+func (rs *RegionSpans) Regions() int { return len(rs.fillStart) - 1 }
+
+// Fill returns region k's covered scanline runs in row-major order.
+func (rs *RegionSpans) Fill(k int) []Span {
+	return rs.fill[rs.fillStart[k]:rs.fillStart[k+1]]
+}
+
+// Boundary returns region k's deduplicated boundary pixel indices in
+// first-visit order.
+func (rs *RegionSpans) Boundary(k int) []int32 {
+	return rs.bound[rs.boundStart[k]:rs.boundStart[k+1]]
+}
+
+// Bytes returns the retained size of the compiled spans — the unit the
+// span cache's byte budget is accounted in.
+func (rs *RegionSpans) Bytes() int64 {
+	const spanBytes, idxBytes = 12, 4
+	return int64(len(rs.fill))*spanBytes +
+		int64(len(rs.bound))*idxBytes +
+		int64(len(rs.fillStart)+len(rs.boundStart))*idxBytes +
+		64 // struct and header overhead
+}
+
+// CompileRegions flattens every polygon's fill and conservative boundary
+// rasterization on the transform into span lists. The context is checked
+// between regions: compilation of a large layer aborts with ctx.Err() when
+// the request is canceled, exactly like the draw passes it replaces.
+func CompileRegions(ctx context.Context, t Transform, polys []geom.Polygon) (*RegionSpans, error) {
+	rs := &RegionSpans{
+		T:          t,
+		fillStart:  make([]int32, 1, len(polys)+1),
+		boundStart: make([]int32, 1, len(polys)+1),
+	}
+	scratch := NewBitmap(t.W, t.H)
+	var touched []int32
+	for k := range polys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		FillPolygonSpans(t, polys[k], func(py, x0, x1 int) {
+			rs.fill = append(rs.fill, Span{Y: int32(py), X0: int32(x0), X1: int32(x1)})
+		})
+		rs.fillStart = append(rs.fillStart, int32(len(rs.fill)))
+
+		touched = touched[:0]
+		BoundaryPixels(t, polys[k], func(px, py int) {
+			if scratch.Get(px, py) {
+				return
+			}
+			scratch.Set(px, py)
+			touched = append(touched, int32(py*t.W+px))
+		})
+		rs.bound = append(rs.bound, touched...)
+		for _, idx := range touched {
+			scratch.Unset(int(idx)%t.W, int(idx)/t.W)
+		}
+		rs.boundStart = append(rs.boundStart, int32(len(rs.bound)))
+	}
+	return rs, nil
+}
+
+// SpanKey identifies one compiled layer: the region set's process-unique
+// stamp and the exact canvas transform (tiled renders key each tile's
+// sub-transform separately).
+type SpanKey struct {
+	Owner uint64
+	T     Transform
+}
+
+// SpanCacheStats is a snapshot of the cache's counters.
+type SpanCacheStats struct {
+	Entries         int
+	Bytes, MaxBytes int64
+	Hits, Misses    uint64
+	Evictions       uint64
+	Generation      uint64
+}
+
+// SpanCache is a byte-bounded, generation-stamped LRU over compiled region
+// spans. A nil *SpanCache is a valid disabled cache: Get always misses and
+// Put is a no-op, so callers fall back to direct rasterization without nil
+// checks. Generations mirror the query-result cache's invalidation
+// contract: the owner slaves SetGeneration to its catalog version, and any
+// change drops every entry (a re-registered layer may reuse a name or a
+// stamp's memory).
+type SpanCache struct {
+	gen atomic.Uint64
+
+	mu        sync.Mutex
+	max       int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	entries   map[SpanKey]*list.Element
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions uint64
+}
+
+// spanEntry is one LRU cell.
+type spanEntry struct {
+	key   SpanKey
+	spans *RegionSpans
+	bytes int64
+}
+
+// NewSpanCache returns a cache bounded to maxBytes of compiled spans.
+// maxBytes <= 0 returns nil — the disabled cache.
+func NewSpanCache(maxBytes int64) *SpanCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &SpanCache{
+		max:     maxBytes,
+		ll:      list.New(),
+		entries: make(map[SpanKey]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache stores anything.
+func (c *SpanCache) Enabled() bool { return c != nil }
+
+// SetGeneration slaves the cache to the owner's catalog version: a changed
+// generation drops every entry. The fast path is one atomic load, so
+// calling it per request costs nothing when the catalog is stable.
+func (c *SpanCache) SetGeneration(gen uint64) {
+	if c == nil || c.gen.Load() == gen {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen.Swap(gen) == gen {
+		return
+	}
+	c.ll.Init()
+	clear(c.entries)
+	c.bytes = 0
+}
+
+// Get returns the compiled spans for key, bumping its recency.
+func (c *SpanCache) Get(key SpanKey) (*RegionSpans, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*spanEntry).spans, true
+}
+
+// Put stores compiled spans under key, evicting least-recently-used entries
+// until the byte budget holds. Entries larger than the whole budget are not
+// cached (the compile result is still returned to the caller by Compile's
+// caller; caching it would evict everything for a one-shot tenant).
+func (c *SpanCache) Put(key SpanKey, spans *RegionSpans) {
+	if c == nil {
+		return
+	}
+	n := spans.Bytes()
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Concurrent compile of the same layer: keep the incumbent.
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.bytes+n > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*spanEntry)
+		c.ll.Remove(back)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.bytes
+		c.evictions++
+	}
+	c.entries[key] = c.ll.PushFront(&spanEntry{key: key, spans: spans, bytes: n})
+	c.bytes += n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SpanCache) Stats() SpanCacheStats {
+	if c == nil {
+		return SpanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SpanCacheStats{
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		MaxBytes:   c.max,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions,
+		Generation: c.gen.Load(),
+	}
+}

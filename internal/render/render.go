@@ -116,23 +116,23 @@ func Choropleth(rs *data.RegionSet, values []float64, width int, ramp Ramp) (*im
 	}
 	tr := raster.NewTransform(bounds, width, height)
 
-	min, max := math.Inf(1), math.Inf(-1)
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range values {
 		if math.IsNaN(v) {
 			continue
 		}
-		if v < min {
-			min = v
+		if v < lo {
+			lo = v
 		}
-		if v > max {
-			max = v
+		if v > hi {
+			hi = v
 		}
 	}
 	norm := func(v float64) float64 {
-		if math.IsNaN(v) || max <= min {
+		if math.IsNaN(v) || hi <= lo {
 			return 0
 		}
-		return (v - min) / (max - min)
+		return (v - lo) / (hi - lo)
 	}
 
 	img := image.NewRGBA(image.Rect(0, 0, width, height))
@@ -171,17 +171,17 @@ func Density(counts []float64, w, h int, ramp Ramp) (*image.RGBA, error) {
 	if len(counts) != w*h || w < 1 || h < 1 {
 		return nil, fmt.Errorf("render: %d counts for %dx%d grid", len(counts), w, h)
 	}
-	max := 0.0
+	peak := 0.0
 	for _, v := range counts {
-		if v > max {
-			max = v
+		if v > peak {
+			peak = v
 		}
 	}
 	img := image.NewRGBA(image.Rect(0, 0, w, h))
-	if max == 0 {
+	if peak == 0 {
 		return img, nil
 	}
-	logMax := math.Log1p(max)
+	logMax := math.Log1p(peak)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			v := counts[y*w+x]

@@ -163,6 +163,7 @@ func (f *Framework) QueryContext(ctx context.Context, stmt string) (*query.Execu
 	f.mu.RLock()
 	pl := f.planner
 	f.mu.RUnlock()
+	f.syncSpanCache()
 	return query.RunContext(ctx, stmt, pl, f)
 }
 
@@ -179,6 +180,7 @@ func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core
 	f.mu.RLock()
 	pl := f.planner
 	f.mu.RUnlock()
+	f.syncSpanCache()
 	for _, c := range pl.Cubes {
 		if c.CanServe(req) == nil {
 			return core.JoinContext(ctx, c, req)
@@ -204,4 +206,12 @@ func (f *Framework) rasterJoiner() *core.RasterJoin {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return f.planner.Raster
+}
+
+// syncSpanCache slaves the device's region span cache to the catalog
+// version, mirroring the query-result cache's invalidation contract: any
+// (re)registration drops every compiled span. The underlying check is one
+// atomic load when nothing changed.
+func (f *Framework) syncSpanCache() {
+	f.rasterJoiner().Device().SpanCache().SetGeneration(f.Version())
 }

@@ -43,9 +43,9 @@ func TestTimeWindows(t *testing.T) {
 	}
 	// Generated timestamps actually fall inside January.
 	s := NYC(1000, 2)
-	min, max, _ := s.Taxi.TimeRange()
-	if min < jan.Start || max >= jan.End {
-		t.Errorf("taxi times [%d,%d] outside January", min, max)
+	tmin, tmax, _ := s.Taxi.TimeRange()
+	if tmin < jan.Start || tmax >= jan.End {
+		t.Errorf("taxi times [%d,%d] outside January", tmin, tmax)
 	}
 }
 
