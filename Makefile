@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint bench fuzz stress stats-smoke parallel-race verify
+.PHONY: build test race vet lint bench fuzz stress stats-smoke parallel-race chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test ./internal/data -run='^$$' -fuzz='^FuzzReadGeoJSON$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/urbane -run='^$$' -fuzz='^FuzzAdmitEnvelope$$' -fuzztime=$(FUZZTIME)
 
 # Parallel point pass and span cache suite under the race detector: the
 # bit-identical property tests (parallel == sequential at every worker
@@ -50,5 +51,14 @@ stats-smoke:
 stress:
 	$(GO) test -race -count=1 -run 'Stress|Coalesce|Concurrent|CacheOnOff' \
 		./internal/qcache ./internal/urbane
+
+# Seeded chaos soak under the race detector: 64 virtual users against a
+# server with admission control, a deterministic fault schedule on every
+# hook site, and aggressive client deadlines; asserts the response
+# envelope contract, zero leaks, and byte-identical post-chaos replay
+# against a pristine server. Plus the admission/fault unit suites.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Chaos|Soak|Replay' ./internal/chaos
+	$(GO) test -race -count=1 ./internal/admit ./internal/fault
 
 verify: build vet lint test

@@ -1,0 +1,203 @@
+// Command urbane-loadgen replays the deterministic interactive workload
+// mix against a running urbane-server over real HTTP, at N virtual users.
+// It is the offered-load half of the overload-protection experiments: point
+// it at a server started with -max-inflight and sweep -vus to trace the
+// shed-rate curve (EXPERIMENTS.md E18).
+//
+// Every response is checked against the chaos response contract
+// (internal/chaos.ValidateResponse): an allowed status, the JSON error
+// envelope on failures, Retry-After on 503s. Contract violations are
+// reported and make the process exit nonzero — the generator doubles as an
+// end-to-end conformance probe.
+//
+// Usage:
+//
+//	urbane-loadgen -addr http://127.0.0.1:8080 -vus 32 -n 50 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type report struct {
+	Addr        string         `json:"addr"`
+	VUs         int            `json:"vus"`
+	PerVU       int            `json:"requestsPerVU"`
+	Seed        int64          `json:"seed"`
+	Total       int            `json:"total"`
+	Errors      int            `json:"transportErrors"`
+	DurationSec float64        `json:"durationSec"`
+	Throughput  float64        `json:"requestsPerSec"`
+	ShedRate    float64        `json:"shedRate"`
+	ByStatus    map[string]int `json:"byStatus"`
+	ByKind      map[string]int `json:"byKind"`
+	LatencyMs   latencySummary `json:"latencyMs"`
+	Violations  []string       `json:"violations"`
+}
+
+// vuResult is one virtual user's tally, merged after the run.
+type vuResult struct {
+	byStatus   map[int]int
+	byKind     map[string]int
+	latencies  []time.Duration
+	violations []string
+	errors     int
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the target urbane-server")
+	vus := flag.Int("vus", 8, "concurrent virtual users")
+	n := flag.Int("n", 50, "requests per virtual user")
+	seed := flag.Int64("seed", 1, "workload mix seed; VU k replays mix seed+k")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request client timeout")
+	asJSON := flag.Bool("json", false, "emit the report as JSON (machine-readable)")
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	client := &http.Client{Timeout: *timeout, Transport: &http.Transport{
+		MaxIdleConns: *vus, MaxIdleConnsPerHost: *vus,
+	}}
+
+	results := make([]*vuResult, *vus)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for vu := 0; vu < *vus; vu++ {
+		wg.Add(1)
+		go func(vu int) {
+			defer wg.Done()
+			results[vu] = runVU(client, base, workload.ServerMixConfig(), *seed+int64(vu), vu, *n)
+		}(vu)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Addr: base, VUs: *vus, PerVU: *n, Seed: *seed,
+		DurationSec: elapsed.Seconds(),
+		ByStatus:    map[string]int{}, ByKind: map[string]int{},
+	}
+	var lats []time.Duration
+	for _, r := range results {
+		for s, c := range r.byStatus {
+			rep.ByStatus[strconv.Itoa(s)] += c
+			rep.Total += c
+		}
+		for k, c := range r.byKind {
+			rep.ByKind[k] += c
+		}
+		lats = append(lats, r.latencies...)
+		rep.Violations = append(rep.Violations, r.violations...)
+		rep.Errors += r.errors
+	}
+	if rep.Total > 0 {
+		rep.Throughput = float64(rep.Total) / elapsed.Seconds()
+		rep.ShedRate = float64(rep.ByStatus["503"]) / float64(rep.Total)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		rep.LatencyMs = latencySummary{
+			P50: ms(lats[len(lats)*50/100]),
+			P90: ms(lats[len(lats)*90/100]),
+			P99: ms(lats[len(lats)*99/100]),
+			Max: ms(lats[len(lats)-1]),
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		printHuman(rep)
+	}
+	if len(rep.Violations) > 0 || rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func runVU(client *http.Client, base string, cfg workload.MixConfig, seed int64, vu, n int) *vuResult {
+	res := &vuResult{byStatus: map[int]int{}, byKind: map[string]int{}}
+	mix := workload.NewMix(cfg, seed)
+	for i := 0; i < n; i++ {
+		hr := mix.Next()
+		var body io.Reader
+		if hr.Body != "" {
+			body = strings.NewReader(hr.Body)
+		}
+		req, err := http.NewRequestWithContext(context.Background(), hr.Method, base+hr.Path, body)
+		if err != nil {
+			res.errors++
+			continue
+		}
+		if hr.Body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			res.errors++
+			if res.errors <= 3 {
+				res.violations = append(res.violations, fmt.Sprintf("vu%d req%d: transport: %v", vu, i, err))
+			}
+			continue
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		res.latencies = append(res.latencies, time.Since(t0))
+		res.byStatus[resp.StatusCode]++
+		res.byKind[hr.Kind]++
+		if err != nil {
+			res.errors++
+			continue
+		}
+		if verr := chaos.ValidateResponse(hr.Method, hr.Path, resp.StatusCode, resp.Header, payload); verr != nil {
+			if len(res.violations) < 10 {
+				res.violations = append(res.violations, fmt.Sprintf("vu%d req%d: %v", vu, i, verr))
+			}
+		}
+	}
+	return res
+}
+
+func printHuman(rep report) {
+	fmt.Printf("%d requests in %.2fs (%.1f req/s) against %s, %d VUs\n",
+		rep.Total, rep.DurationSec, rep.Throughput, rep.Addr, rep.VUs)
+	statuses := make([]string, 0, len(rep.ByStatus))
+	for s := range rep.ByStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Printf("  %s: %d\n", s, rep.ByStatus[s])
+	}
+	fmt.Printf("shed rate: %.1f%%   latency ms p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+		100*rep.ShedRate, rep.LatencyMs.P50, rep.LatencyMs.P90, rep.LatencyMs.P99, rep.LatencyMs.Max)
+	if rep.Errors > 0 {
+		fmt.Printf("transport errors: %d\n", rep.Errors)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+}

@@ -25,6 +25,13 @@
 // granularity), so an exhausted deadline aborts the render mid-join and
 // returns 504. Per-stage timings travel in the X-Urbane-Trace header.
 //
+// -max-inflight arms admission control: at most that much weighted compute
+// runs concurrently, excess requests wait in a short deadline-aware queue
+// (-admit-queue, -admit-wait) and are shed with 503 + Retry-After when the
+// queue is full or too slow. Cache hits and the observability endpoints
+// bypass admission. -faults/-fault-seed arm deterministic fault injection
+// (chaos testing only; see internal/fault).
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests (up to a 10s grace period), and exits cleanly.
 package main
@@ -42,8 +49,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/urbane"
 	"repro/internal/workload"
@@ -75,6 +84,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	pointBatch := fs.Int("point-batch", 0, "max point vertices per draw call — the cancellation granularity of the point pass (0 = one draw)")
 	pointWorkers := fs.Int("point-workers", 0, "goroutines sharding the point pass; results are identical at any setting (0 = GOMAXPROCS, 1 = sequential)")
 	spanCacheBytes := fs.Int64("span-cache-bytes", gpu.DefaultSpanCacheBytes, "region span cache capacity in bytes — compiled polygon rasterizations reused across queries (0 disables)")
+	maxInflight := fs.Int64("max-inflight", 0, "admission control: max weighted concurrent query computes; excess requests queue briefly then shed with 503 (0 = disabled)")
+	admitQueue := fs.Int("admit-queue", admit.DefaultQueue, "admission wait-queue length; requests beyond it shed immediately")
+	admitWait := fs.Duration("admit-wait", admit.DefaultMaxWait, "max time a request waits in the admission queue before shedding (bounded further by its own deadline)")
+	faultSpec := fs.String("faults", "", "deterministic fault injection spec, e.g. \"core.pointpass=latency:0.2:5ms,qcache.compute=error:0.05\" (chaos testing only)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the -faults schedule; same seed = same schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,9 +133,24 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 		log.Printf("cube: %d cells in %v", c.MemoryCells(), time.Since(start).Round(time.Millisecond))
 	}
 
-	var handler http.Handler = urbane.NewServer(f,
+	opts := []urbane.ServerOption{
 		urbane.WithCache(*cacheBytes), urbane.WithTimeSnap(*timeSnap),
-		urbane.WithQueryTimeout(*queryTimeout))
+		urbane.WithQueryTimeout(*queryTimeout),
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, urbane.WithAdmission(admit.New(*maxInflight, *admitQueue, *admitWait)))
+		log.Printf("admission control: max-inflight=%d queue=%d wait=%v",
+			*maxInflight, *admitQueue, *admitWait)
+	}
+	if *faultSpec != "" {
+		reg, err := fault.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, urbane.WithFaults(reg))
+		log.Printf("fault injection ARMED (seed %d): %s — for chaos testing only", *faultSeed, *faultSpec)
+	}
+	var handler http.Handler = urbane.NewServer(f, opts...)
 	if wrap != nil {
 		handler = wrap(handler)
 	}

@@ -1,0 +1,330 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFastPath: under capacity, acquisition is immediate and release
+// restores the count.
+func TestFastPath(t *testing.T) {
+	c := New(2, 4, time.Second)
+	rel1, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.InFlight != 2 || s.Admitted != 2 || s.Shed != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Errorf("inflight after release = %d", s.InFlight)
+	}
+}
+
+// TestNilController admits everything.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	for i := 0; i < 100; i++ {
+		rel, err := c.Acquire(context.Background(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if s := c.Stats(); s.Enabled {
+		t.Errorf("nil controller stats = %+v", s)
+	}
+}
+
+// TestQueueOverflowSheds: with the semaphore full and the queue full,
+// further requests shed immediately with ErrOverloaded.
+func TestQueueOverflowSheds(t *testing.T) {
+	c := New(1, 1, time.Minute)
+	rel, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// One waiter fits in the queue.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(context.Background(), 1)
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	// The next one overflows and sheds synchronously.
+	if _, err := c.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire: err = %v, want ErrOverloaded", err)
+	}
+	if s := c.Stats(); s.Shed != 1 {
+		t.Errorf("shed = %d, want 1", s.Shed)
+	}
+	rel()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if s := c.Stats(); s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("final stats = %+v", s)
+	}
+}
+
+// TestOversizeRequestClamped: a weight above capacity is clamped to the
+// whole semaphore (exclusive execution) instead of being unserviceable
+// forever; capacity-0 controllers still shed everything immediately.
+func TestOversizeRequestClamped(t *testing.T) {
+	c := New(2, 4, time.Second)
+	rel, err := c.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("oversize acquire: err = %v", err)
+	}
+	if s := c.Stats(); s.InFlight != 2 {
+		t.Errorf("clamped in-flight = %d, want full capacity 2", s.InFlight)
+	}
+	rel()
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Errorf("in-flight after release = %d, want 0", s.InFlight)
+	}
+	zero := New(0, 4, time.Second)
+	if _, err := zero.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("capacity-0 acquire: err = %v", err)
+	}
+}
+
+// TestExpiredDeadlineShedsImmediately: a request whose deadline has already
+// passed is shed without queuing at all.
+func TestExpiredDeadlineShedsImmediately(t *testing.T) {
+	c := New(1, 8, time.Minute)
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	// NB: ctx.Err() may already report DeadlineExceeded; both that and
+	// ErrOverloaded are "shed before queuing" — the request never waits.
+	start := time.Now()
+	_, err := c.Acquire(ctx, 1)
+	if err == nil {
+		t.Fatal("expired-deadline acquire succeeded")
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("expired-deadline acquire took %v, want immediate", d)
+	}
+	if s := c.Stats(); s.Queued != 0 {
+		t.Errorf("queued = %d after immediate shed", s.Queued)
+	}
+}
+
+// TestWaitTimeoutSheds: a queued request that outwaits maxWait is shed.
+func TestWaitTimeoutSheds(t *testing.T) {
+	c := New(1, 8, 10*time.Millisecond)
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+
+	start := time.Now()
+	_, err := c.Acquire(context.Background(), 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d < 8*time.Millisecond || d > 2*time.Second {
+		t.Errorf("wait before shed = %v, want ~10ms", d)
+	}
+	if s := c.Stats(); s.Queued != 0 || s.Shed != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestCancelWhileQueued is the admission analogue of the qcache 1-of-N
+// coalesced-waiter cancel test: of N queued waiters, one is canceled while
+// in line; it must return ctx.Err(), leave the queue, and the semaphore
+// must provably end balanced — the other N-1 all get admitted once capacity
+// frees, and after every release the controller is back to idle.
+func TestCancelWhileQueued(t *testing.T) {
+	const N = 8
+	c := New(1, N, time.Minute)
+	hold, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victimCtx, cancelVictim := context.WithCancel(context.Background())
+	type outcome struct {
+		idx int
+		err error
+	}
+	results := make(chan outcome, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		ctx := context.Background()
+		if i == 0 {
+			ctx = victimCtx
+		}
+		wg.Add(1)
+		go func(i int, ctx context.Context) {
+			defer wg.Done()
+			rel, err := c.Acquire(ctx, 1)
+			if err == nil {
+				rel()
+			}
+			results <- outcome{i, err}
+		}(i, ctx)
+	}
+	waitFor(t, func() bool { return c.Stats().Queued == N })
+
+	// Cancel the victim while it is provably in the queue.
+	cancelVictim()
+	var victimErr error
+	select {
+	case o := <-results:
+		if o.idx != 0 {
+			t.Fatalf("waiter %d finished before capacity freed", o.idx)
+		}
+		victimErr = o.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	if !errors.Is(victimErr, context.Canceled) {
+		t.Fatalf("victim err = %v, want context.Canceled", victimErr)
+	}
+	if s := c.Stats(); s.Queued != N-1 || s.Canceled != 1 {
+		t.Errorf("after victim left: %+v", s)
+	}
+
+	// Free capacity: every survivor must be admitted (FIFO, one at a time —
+	// each releases immediately so the chain drains).
+	hold()
+	wg.Wait()
+	close(results)
+	for o := range results {
+		if o.err != nil {
+			t.Errorf("survivor %d: %v", o.idx, o.err)
+		}
+	}
+	s := c.Stats()
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("controller not idle after drain: %+v", s)
+	}
+	if s.Admitted != N { // 1 initial hold + (N-1) survivors
+		t.Errorf("admitted = %d, want %d", s.Admitted, N)
+	}
+}
+
+// TestFIFOWeighted: grants respect queue order; a heavy waiter at the head
+// is not starved by lighter requests behind it.
+func TestFIFOWeighted(t *testing.T) {
+	c := New(4, 8, time.Minute)
+	hold, _ := c.Acquire(context.Background(), 4)
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, err := c.Acquire(context.Background(), 3) // heavy, queued first
+		if err != nil {
+			t.Errorf("heavy: %v", err)
+			return
+		}
+		order <- "heavy"
+		rel()
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, err := c.Acquire(context.Background(), 2) // lighter, queued second; can't co-run with heavy
+		if err != nil {
+			t.Errorf("light: %v", err)
+			return
+		}
+		order <- "light"
+		rel()
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 2 })
+
+	hold()
+	wg.Wait()
+	if first := <-order; first != "heavy" {
+		t.Errorf("first grant = %s, want heavy (FIFO)", first)
+	}
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Errorf("inflight after drain = %d", s.InFlight)
+	}
+}
+
+// TestRetryAfter rounds the wait bound up to whole seconds, minimum 1.
+func TestRetryAfter(t *testing.T) {
+	if d := New(1, 1, 100*time.Millisecond).RetryAfter(); d != time.Second {
+		t.Errorf("100ms -> %v, want 1s", d)
+	}
+	if d := New(1, 1, 1500*time.Millisecond).RetryAfter(); d != 2*time.Second {
+		t.Errorf("1.5s -> %v, want 2s", d)
+	}
+	var nilC *Controller
+	if d := nilC.RetryAfter(); d != time.Second {
+		t.Errorf("nil -> %v, want 1s", d)
+	}
+}
+
+// TestConcurrentChurn hammers one controller from many goroutines under
+// -race: every successful acquire is released, and the controller ends
+// idle with every request accounted as admitted, shed, or canceled.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(4, 16, 5*time.Millisecond)
+	const workers, per = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ctx := context.Background()
+				if i%5 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+					defer cancel()
+				}
+				rel, err := c.Acquire(ctx, int64(1+w%2))
+				if err != nil {
+					continue
+				}
+				rel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("not idle after churn: %+v", s)
+	}
+	if total := s.Admitted + s.Shed + s.Canceled; total != workers*per {
+		t.Errorf("accounted %d of %d requests: %+v", total, workers*per, s)
+	}
+}
+
+// waitFor polls cond up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

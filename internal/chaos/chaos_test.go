@@ -1,0 +1,201 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/urbane"
+	"repro/internal/workload"
+)
+
+// buildFramework registers a small two-dataset, two-layer catalog over a
+// 1000x1000 world. Construction is fully seeded, so two calls produce
+// frameworks whose query results are byte-identical — the property the
+// post-chaos replay comparison rests on.
+func buildFramework(t testing.TB, dev *gpu.Device) *urbane.Framework {
+	t.Helper()
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	rng := rand.New(rand.NewSource(77))
+	mk := func(name string, n int) *data.PointSet {
+		ps := &data.PointSet{Name: name,
+			X: make([]float64, n), Y: make([]float64, n), T: make([]int64, n)}
+		fares := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ps.X[i] = rng.Float64() * 1000
+			ps.Y[i] = rng.Float64() * 1000
+			ps.T[i] = int64(rng.Intn(8 * 3600))
+			fares[i] = rng.Float64() * 40
+		}
+		ps.Attrs = []data.Column{{Name: "fare", Values: fares}}
+		ps.SortByTime()
+		return ps
+	}
+	f := urbane.New(core.NewRasterJoin(core.WithDevice(dev),
+		core.WithMode(core.Accurate), core.WithResolution(128)))
+	for _, ps := range []*data.PointSet{mk("taxi", 1200), mk("311", 600)} {
+		if err := f.AddPointSet(ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbhd := data.VoronoiRegions("nbhd", bounds, 12, 9, data.VoronoiOptions{JitterFrac: 0.06})
+	grid := data.GridRegions("grid", bounds, 4, 4)
+	for _, rs := range []*data.RegionSet{nbhd, grid} {
+		if err := f.AddRegionSet(rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func mixConfig() workload.MixConfig {
+	return workload.MixConfig{
+		Datasets: []string{"taxi", "311"},
+		Layers:   []string{"nbhd", "grid"},
+		Attrs:    map[string][]string{"taxi": {"fare"}, "311": {"fare"}},
+		TimeMin:  0, TimeMax: 8 * 3600,
+		Regions: 12,
+	}
+}
+
+// waitIdle polls cond until it holds or the deadline passes.
+func waitIdle(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s did not settle within 15s", what)
+}
+
+// TestChaosSoak is the headline chaos run: a seeded fault schedule across
+// every hook site, admission control at a capacity far below the offered
+// load, aggressive client deadlines on a slice of requests — and the
+// assertions that every response honors the envelope contract, nothing
+// leaks, and the caches come out unpoisoned (replay after the soak is
+// byte-identical to a pristine server).
+func TestChaosSoak(t *testing.T) {
+	vus, perVU := 64, 12
+	if testing.Short() {
+		vus, perVU = 8, 6
+	}
+
+	dev := gpu.New()
+	f := buildFramework(t, dev)
+	reg := fault.New(42)
+	reg.Set("core.pointpass", fault.Rule{Prob: 0.05, Kind: fault.Latency, Delay: 2 * time.Millisecond})
+	reg.Set("qcache.compute", fault.Rule{Prob: 0.05, Kind: fault.Error})
+	reg.Set("server.decode", fault.Rule{Prob: 0.03, Kind: fault.Error})
+	reg.Set("core.join", fault.Rule{Prob: 0.03, Kind: fault.Cancel})
+	ctl := admit.New(4, 16, 25*time.Millisecond)
+	srv := urbane.NewServer(f,
+		urbane.WithCache(8<<20),
+		urbane.WithAdmission(ctl),
+		urbane.WithFaults(reg),
+		urbane.WithQueryTimeout(5*time.Second),
+	)
+
+	before := runtime.NumGoroutine()
+	rep := chaos.Soak(context.Background(), srv, chaos.Config{
+		VUs: vus, Requests: perVU, Seed: 7, CancelFrac: 0.15, Mix: mixConfig(),
+	})
+	t.Logf("soak: %s", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("contract violation: %s", v)
+	}
+	if rep.Total != vus*perVU {
+		t.Errorf("completed %d requests, want %d", rep.Total, vus*perVU)
+	}
+	if rep.ByStatus[200] == 0 {
+		t.Error("soak produced no successful responses")
+	}
+	// The fault schedule is seeded, so injected failures must actually
+	// surface: server.decode errors map to 400 and qcache.compute /
+	// core.join faults to 400/499 — the soak is vacuous if everything
+	// came back 200.
+	if rep.ByStatus[200] == rep.Total {
+		t.Error("no injected fault or cancellation surfaced; chaos schedule did not fire")
+	}
+
+	// Shed requests and canceled clients must leak nothing: goroutines
+	// drain, render resources return to their pools, the admission
+	// semaphore reads idle.
+	waitIdle(t, "goroutines", func() bool { return runtime.NumGoroutine() <= before+3 })
+	waitIdle(t, "canvases", func() bool { return dev.LiveCanvases() == 0 })
+	waitIdle(t, "textures", func() bool { return dev.LiveTextures() == 0 })
+	adm := srv.AdmissionStats()
+	if adm.InFlight != 0 || adm.Queued != 0 {
+		t.Errorf("admission not idle after soak: %+v", adm)
+	}
+	if adm.Admitted == 0 {
+		t.Error("admission controller admitted nothing; wiring is broken")
+	}
+
+	// Faults must never poison the caches: with injection cleared, the
+	// soaked server must answer a fresh deterministic mix byte-for-byte
+	// like a pristine server over the same catalog.
+	reg.Clear()
+	pristine := urbane.NewServer(buildFramework(t, gpu.New()), urbane.WithCache(8<<20))
+	const replayN = 80
+	got := chaos.Replay(srv, mixConfig(), 4242, replayN)
+	want := chaos.Replay(pristine, mixConfig(), 4242, replayN)
+	if len(got) != len(want) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Status != want[i].Status {
+			t.Errorf("replay %d (%s %s): status %d vs pristine %d",
+				i, got[i].Kind, got[i].Path, got[i].Status, want[i].Status)
+			continue
+		}
+		if !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Errorf("replay %d (%s %s): body diverged from pristine server (%d vs %d bytes)",
+				i, got[i].Kind, got[i].Path, len(got[i].Body), len(want[i].Body))
+		}
+	}
+}
+
+// TestSoakCleanServer pins the baseline: with no faults, no admission
+// pressure, and no client cancellation, every generated request succeeds —
+// so any non-200 seen under chaos is attributable to the chaos, not to the
+// mix emitting garbage.
+func TestSoakCleanServer(t *testing.T) {
+	f := buildFramework(t, gpu.New())
+	srv := urbane.NewServer(f, urbane.WithCache(8<<20))
+	rep := chaos.Soak(context.Background(), srv, chaos.Config{
+		VUs: 4, Requests: 10, Seed: 11, Mix: mixConfig(),
+	})
+	for _, v := range rep.Violations {
+		t.Errorf("contract violation: %s", v)
+	}
+	if rep.ByStatus[200] != rep.Total {
+		t.Errorf("clean soak not all-200: %s", rep)
+	}
+}
+
+// TestReplayDeterministic: the same seed against the same server yields
+// byte-identical results — the precondition for the cross-server
+// comparison in TestChaosSoak to mean anything.
+func TestReplayDeterministic(t *testing.T) {
+	srv := urbane.NewServer(buildFramework(t, gpu.New()), urbane.WithCache(8<<20))
+	a := chaos.Replay(srv, mixConfig(), 5, 40)
+	b := chaos.Replay(srv, mixConfig(), 5, 40)
+	for i := range a {
+		if a[i].Status != b[i].Status || !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("replay %d (%s) not deterministic", i, a[i].Kind)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/raster"
@@ -136,6 +137,11 @@ func (r *RasterJoin) drawPointsBatched(ctx context.Context, c *gpu.Canvas, lo, h
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// `core.pointpass` is a fault injection site, polled at the same
+		// granularity as cancellation — once per batch.
+		if err := fault.Inject(ctx, "core.pointpass"); err != nil {
+			return err
+		}
 		e := s + batch
 		if e > hi {
 			e = hi
@@ -169,6 +175,9 @@ func (r *RasterJoin) drawPointsBatchedParallel(ctx context.Context, c *gpu.Canva
 	}
 	tr := trace.FromContext(ctx)
 	for s := lo; s < hi; s += batch {
+		if err := fault.Inject(ctx, "core.pointpass"); err != nil {
+			return err
+		}
 		e := s + batch
 		if e > hi {
 			e = hi
@@ -270,6 +279,10 @@ func (r *RasterJoin) Join(req Request) (*Result, error) {
 // query leaves the device pool fully reusable.
 func (r *RasterJoin) JoinContext(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// `core.join` is a fault injection site covering the whole-join entry.
+	if err := fault.Inject(ctx, "core.join"); err != nil {
 		return nil, err
 	}
 	res := &Result{

@@ -35,6 +35,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Outcome says how Do satisfied a request; the server surfaces it in the
@@ -331,7 +333,15 @@ func (c *Cache) runFlight(cctx context.Context, key string, call *flightCall, co
 	}
 
 	gen := c.gen.Load()
-	v, err := compute(cctx)
+	// `qcache.compute` is a fault injection site: an injected error or
+	// cancel takes the exact path a failed compute does — surfaced to every
+	// waiter, never cached — which is what the chaos suite's
+	// "faults never poison the cache" replay proves.
+	var v []byte
+	err := fault.Inject(cctx, "qcache.compute")
+	if err == nil {
+		v, err = compute(cctx)
+	}
 	c.misses.Add(1)
 	if err != nil {
 		finish(nil, err, false, cctx.Err() != nil)

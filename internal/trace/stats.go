@@ -17,11 +17,37 @@ type Registry struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
+
+	gmu    sync.Mutex
+	gauges map[string]int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{start: time.Now(), endpoints: make(map[string]*Endpoint)}
+	return &Registry{
+		start:     time.Now(),
+		endpoints: make(map[string]*Endpoint),
+		gauges:    make(map[string]int64),
+	}
+}
+
+// SetGauge records a named process-level gauge (admission in-flight, queue
+// depth, shed totals...); /api/stats reports the full gauge map.
+func (r *Registry) SetGauge(name string, v int64) {
+	r.gmu.Lock()
+	r.gauges[name] = v
+	r.gmu.Unlock()
+}
+
+// Gauges snapshots the named gauges.
+func (r *Registry) Gauges() map[string]int64 {
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
 }
 
 // Endpoint returns (creating on first use) the named endpoint's recorder.
@@ -62,9 +88,10 @@ type Endpoint struct {
 
 	mu   sync.Mutex
 	ok   uint64
-	errs uint64 // non-2xx other than timeout/cancel
+	errs uint64 // non-2xx other than timeout/cancel/shed
 	tout uint64 // deadline exceeded (504)
 	canc uint64 // client gone (499)
+	shed uint64 // admission shed the request (503)
 	hist histogram
 }
 
@@ -80,6 +107,8 @@ func (ep *Endpoint) Begin() (end func(status int, elapsed time.Duration)) {
 			ep.tout++
 		case status == StatusClientClosedRequest:
 			ep.canc++
+		case status == StatusServiceUnavailable:
+			ep.shed++
 		case status == 0 || status < 400:
 			ep.ok++
 		default:
@@ -95,6 +124,7 @@ func (ep *Endpoint) Begin() (end func(status int, elapsed time.Duration)) {
 const (
 	StatusGatewayTimeout      = 504
 	StatusClientClosedRequest = 499
+	StatusServiceUnavailable  = 503
 )
 
 // InFlight returns the number of requests currently being served.
@@ -110,6 +140,7 @@ type EndpointStats struct {
 	Errors   uint64         `json:"errors"`
 	Timeouts uint64         `json:"timeouts"`
 	Canceled uint64         `json:"canceled"`
+	Shed     uint64         `json:"shed"`
 	Latency  LatencySummary `json:"latencyMs"`
 }
 
@@ -139,9 +170,10 @@ func (ep *Endpoint) Stats() EndpointStats {
 		Errors:   ep.errs,
 		Timeouts: ep.tout,
 		Canceled: ep.canc,
+		Shed:     ep.shed,
 		Latency:  ep.hist.summary(),
 	}
-	s.Count = s.OK + s.Errors + s.Timeouts + s.Canceled
+	s.Count = s.OK + s.Errors + s.Timeouts + s.Canceled + s.Shed
 	return s
 }
 

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/qcache"
 	"repro/internal/trace"
 )
@@ -62,6 +64,25 @@ func WithQueryTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithAdmission bounds the server's concurrent query computes with the
+// given admission controller: computes past -max-inflight wait in a short
+// deadline-aware queue and are shed with 503 + Retry-After when the queue
+// is full or too slow. Cache hits, 304 revalidations, coalesced waiters,
+// and the cheap observability endpoints (/api/stats, /api/cachestats,
+// /api/datasets, /api/regions) bypass admission. nil disables (the
+// default).
+func WithAdmission(c *admit.Controller) ServerOption {
+	return func(s *Server) { s.admit = c }
+}
+
+// WithFaults arms deterministic fault injection: the registry rides every
+// request context, and the hook sites threaded through the stack
+// (server.decode, qcache.compute, core.join, core.pointpass) consult it.
+// nil (the default) disarms injection; hooks then cost one atomic load.
+func WithFaults(r *fault.Registry) ServerOption {
+	return func(s *Server) { s.faults = r }
+}
+
 // WithTimeSnap makes the server quantize every time filter outward to
 // multiples of gran (the workload's bucket granularity, e.g. 3600 for
 // hourly data) before both keying and executing it, so ragged slider
@@ -77,6 +98,10 @@ func WithTimeSnap(gran int64) ServerOption {
 
 // CacheStats snapshots the cache counters (zero-valued when disabled).
 func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// AdmissionStats snapshots the admission controller (zero-valued when
+// admission is disabled).
+func (s *Server) AdmissionStats() admit.Stats { return s.admit.Stats() }
 
 // statusError carries a non-default HTTP status through a cached compute
 // function; plain errors map to 400 Bad Request.
@@ -126,9 +151,10 @@ func marshalBody(v any) ([]byte, error) {
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, contentType string, compute func(ctx context.Context) ([]byte, error)) {
 	start := time.Now()
 	s.syncGeneration()
+	compute = s.admitted(endpointWeight(endpointName(r.URL.Path)), compute)
 	body, outcome, err := s.cache.DoContext(r.Context(), key, compute)
 	if err != nil {
-		writeComputeError(w, err)
+		s.writeComputeError(w, err)
 		return
 	}
 	h := w.Header()
@@ -139,15 +165,19 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, conten
 }
 
 // writeComputeError maps a compute failure to its HTTP status: an explicit
-// statusError wins, then deadline exhaustion is 504 Gateway Timeout, a
-// vanished client is 499, and anything else is a 400.
-func writeComputeError(w http.ResponseWriter, err error) {
+// statusError wins, then an admission shed is 503 Service Unavailable with
+// Retry-After, deadline exhaustion is 504 Gateway Timeout, a vanished
+// client is 499, and anything else is a 400.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var se *statusError
 	if errors.As(err, &se) {
 		status, err = se.status, se.err
 	}
 	switch {
+	case errors.Is(err, admit.ErrOverloaded):
+		s.writeShed(w, err)
+		return
 	case errors.Is(err, context.DeadlineExceeded):
 		status = trace.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,216 @@
+package urbane
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/trace"
+)
+
+// doRaw issues one request with full control over body, headers, and
+// context — the contract test needs pre-canceled contexts and conditional
+// headers that doJSON doesn't expose.
+func doRaw(t *testing.T, s *Server, ctx context.Context, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req.WithContext(ctx))
+	return rec
+}
+
+// TestResponseHeaderContract drives every compute endpoint into each
+// terminal status — 200, 304 (images), 400, 499, 503, 504 — and asserts
+// the cross-cutting response contract: the elapsed and trace headers are
+// stamped no matter how the request ends, failures carry the unified error
+// envelope with the machine code for their status, and sheds carry
+// Retry-After. This is the header audit for the overload paths: a 503 is
+// still a first-class response, not a bare string.
+func TestResponseHeaderContract(t *testing.T) {
+	type ep struct {
+		name    string
+		method  string
+		path    string
+		valid   string // request body (POST) — "" for GET
+		invalid string // 400-provoking body, or for GETs a bad path
+		badPath string // 400-provoking path for GET endpoints
+		image   bool
+	}
+	eps := []ep{
+		{name: "query", method: http.MethodPost, path: "/api/query",
+			valid:   `{"stmt":"SELECT COUNT(*) FROM taxi, nbhd GROUP BY id"}`,
+			invalid: `{"stmt":"SELECT garbage"}`},
+		{name: "mapview", method: http.MethodPost, path: "/api/mapview",
+			valid:   `{"dataset":"taxi","layer":"nbhd","agg":"count"}`,
+			invalid: `{"dataset":"nope","layer":"nbhd","agg":"count"}`},
+		{name: "heatmap", method: http.MethodPost, path: "/api/heatmap",
+			valid:   `{"dataset":"taxi","w":32,"h":32}`,
+			invalid: `{"dataset":"nope","w":32,"h":32}`},
+		{name: "delta", method: http.MethodPost, path: "/api/delta",
+			valid:   `{"dataset":"taxi","layer":"nbhd","agg":"count","a":{"start":0,"end":3600},"b":{"start":3600,"end":7200}}`,
+			invalid: `{"dataset":"taxi","layer":"nbhd","agg":"count","a":{"start":0,"end":3600},"b":{"start":0,"end":3600}}`},
+		{name: "explore", method: http.MethodPost, path: "/api/explore",
+			valid:   `{"datasets":["taxi"],"layer":"nbhd","agg":"count","regionIds":[1,2],"start":0,"end":7200,"bins":4}`,
+			invalid: `{"datasets":["taxi"],"layer":"zzz","agg":"count","regionIds":[1],"start":0,"end":7200,"bins":4}`},
+		{name: "tile", method: http.MethodGet,
+			path:    "/api/tile/10/301/385.png?dataset=taxi",
+			badPath: "/api/tile/10/xx/385.png?dataset=taxi", image: true},
+		{name: "choropleth", method: http.MethodGet,
+			path:    "/api/render/choropleth.png?dataset=taxi&layer=nbhd&agg=count",
+			badPath: "/api/render/choropleth.png?dataset=taxi&layer=nbhd&agg=bogus", image: true},
+	}
+
+	// One server per terminal-status mechanism, so probes can't contaminate
+	// each other through the shared query cache.
+	build := func(opts ...ServerOption) *Server {
+		f, _, _ := buildTestFramework(t)
+		return NewServer(f, opts...)
+	}
+	okSrv := build()
+	cancelSrv := build()
+	shedSrv := build(WithAdmission(admit.New(0, 1, time.Millisecond)))
+	slowSrv := build(WithQueryTimeout(time.Nanosecond))
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// checkCommon asserts what every terminal response must carry.
+	checkCommon := func(t *testing.T, rec *httptest.ResponseRecorder, wantStatus int, wantCode string) {
+		t.Helper()
+		if rec.Code != wantStatus {
+			t.Fatalf("status = %d, want %d (body: %s)", rec.Code, wantStatus, rec.Body)
+		}
+		h := rec.Header()
+		if ms := h.Get(elapsedHeader); ms == "" {
+			t.Errorf("missing %s on %d", elapsedHeader, rec.Code)
+		} else if _, err := strconv.ParseFloat(ms, 64); err != nil {
+			t.Errorf("%s = %q is not a float", elapsedHeader, ms)
+		}
+		if h.Get(traceHeader) == "" {
+			t.Errorf("missing %s on %d", traceHeader, rec.Code)
+		}
+		switch {
+		case wantStatus == http.StatusNotModified:
+			if rec.Body.Len() != 0 {
+				t.Errorf("304 carried a %d-byte body", rec.Body.Len())
+			}
+		case wantStatus >= 400:
+			if wantStatus == http.StatusServiceUnavailable {
+				if ra, err := strconv.Atoi(h.Get("Retry-After")); err != nil || ra < 1 {
+					t.Errorf("503 Retry-After = %q, want integer >= 1", h.Get("Retry-After"))
+				}
+			}
+			var env struct {
+				Error errorBody `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%d body is not the error envelope: %s", rec.Code, rec.Body)
+			}
+			if env.Error.Status != wantStatus || env.Error.Code != wantCode {
+				t.Errorf("envelope = {status:%d code:%q}, want {%d %q}",
+					env.Error.Status, env.Error.Code, wantStatus, wantCode)
+			}
+		}
+	}
+
+	bg := context.Background()
+	for _, e := range eps {
+		t.Run(e.name+"/200", func(t *testing.T) {
+			checkCommon(t, doRaw(t, okSrv, bg, e.method, e.path, e.valid, nil), http.StatusOK, "")
+		})
+		t.Run(e.name+"/400", func(t *testing.T) {
+			path, body := e.path, e.invalid
+			if e.badPath != "" {
+				path, body = e.badPath, ""
+			}
+			checkCommon(t, doRaw(t, okSrv, bg, e.method, path, body, nil), http.StatusBadRequest, "bad_request")
+		})
+		t.Run(e.name+"/499", func(t *testing.T) {
+			checkCommon(t, doRaw(t, cancelSrv, canceledCtx, e.method, e.path, e.valid, nil),
+				trace.StatusClientClosedRequest, "client_closed_request")
+		})
+		t.Run(e.name+"/503", func(t *testing.T) {
+			checkCommon(t, doRaw(t, shedSrv, bg, e.method, e.path, e.valid, nil),
+				http.StatusServiceUnavailable, "overloaded")
+		})
+		t.Run(e.name+"/504", func(t *testing.T) {
+			checkCommon(t, doRaw(t, slowSrv, bg, e.method, e.path, e.valid, nil),
+				trace.StatusGatewayTimeout, "query_timeout")
+		})
+		if e.image {
+			t.Run(e.name+"/304", func(t *testing.T) {
+				first := doRaw(t, okSrv, bg, e.method, e.path, "", nil)
+				etag := first.Header().Get("ETag")
+				if first.Code != http.StatusOK || etag == "" {
+					t.Fatalf("priming GET: status=%d etag=%q", first.Code, etag)
+				}
+				rec := doRaw(t, okSrv, bg, e.method, e.path, "", map[string]string{"If-None-Match": etag})
+				checkCommon(t, rec, http.StatusNotModified, "")
+			})
+		}
+	}
+}
+
+// TestCheapEndpointsBypassAdmission: with admission capacity 0 every
+// compute sheds, yet the observability and catalog endpoints must keep
+// answering — an operator diagnosing an overloaded server needs /api/stats
+// the most exactly when everything else is 503.
+func TestCheapEndpointsBypassAdmission(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	s := NewServer(f, WithAdmission(admit.New(0, 1, time.Millisecond)))
+	for _, path := range []string{"/api/stats", "/api/cachestats", "/api/datasets", "/api/regions?layer=nbhd"} {
+		rec := doJSON(t, s, http.MethodGet, path, nil)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s under full shed: status = %d, want 200 (body: %s)", path, rec.Code, rec.Body)
+		}
+	}
+	// And a compute endpoint really is shedding on this server.
+	rec := doJSON(t, s, http.MethodPost, "/api/mapview",
+		map[string]string{"dataset": "taxi", "layer": "nbhd", "agg": "count"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("mapview under capacity 0: status = %d, want 503", rec.Code)
+	}
+}
+
+// TestCacheHitBypassesAdmission proves the admission placement: a key
+// already in the query cache keeps serving 200s even when the controller
+// sheds every new compute.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	ctl := admit.New(1, 1, 50*time.Millisecond)
+	s := NewServer(f, WithAdmission(ctl))
+	body := map[string]string{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	if rec := doJSON(t, s, http.MethodPost, "/api/mapview", body); rec.Code != http.StatusOK {
+		t.Fatalf("priming mapview: %d %s", rec.Code, rec.Body)
+	}
+	// Saturate the controller so any compute would shed...
+	release, err := ctl.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// ...a repeat of the cached request still succeeds,
+	rec := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if rec.Code != http.StatusOK {
+		t.Errorf("cached mapview under saturation: status = %d, want 200", rec.Code)
+	}
+	if rec.Header().Get(cacheOutcomeHeader) != "hit" {
+		t.Errorf("cache outcome = %q, want hit", rec.Header().Get(cacheOutcomeHeader))
+	}
+	// while a fresh compute sheds.
+	fresh := map[string]string{"dataset": "311", "layer": "grid", "agg": "count"}
+	if rec := doJSON(t, s, http.MethodPost, "/api/mapview", fresh); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("fresh mapview under saturation: status = %d, want 503", rec.Code)
+	}
+}

@@ -14,7 +14,7 @@ import (
 
 // buildTestFramework registers two synthetic data sets and two layers over
 // a 1000x1000 world.
-func buildTestFramework(t *testing.T) (*Framework, *data.PointSet, *data.RegionSet) {
+func buildTestFramework(t testing.TB) (*Framework, *data.PointSet, *data.RegionSet) {
 	t.Helper()
 	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
 	rng := rand.New(rand.NewSource(77))

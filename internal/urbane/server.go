@@ -11,8 +11,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/trace"
@@ -26,10 +28,12 @@ import (
 type Server struct {
 	f       *Framework
 	mux     *http.ServeMux
-	cache   *qcache.Cache   // nil = caching disabled
-	snap    int64           // time-filter snap granularity, >= 1
-	timeout time.Duration   // per-request query deadline; 0 = unbounded
-	metrics *trace.Registry // per-endpoint latency histograms and gauges
+	cache   *qcache.Cache     // nil = caching disabled
+	snap    int64             // time-filter snap granularity, >= 1
+	timeout time.Duration     // per-request query deadline; 0 = unbounded
+	metrics *trace.Registry   // per-endpoint latency histograms and gauges
+	admit   *admit.Controller // nil = admission control disabled
+	faults  *fault.Registry   // nil = fault injection disarmed
 }
 
 // NewServer wraps a framework. By default responses are cached in
@@ -78,6 +82,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := trace.New(name)
 	ctx = trace.NewContext(ctx, tr)
+	if s.faults != nil {
+		ctx = fault.NewContext(ctx, s.faults)
+	}
 	end := s.metrics.Endpoint(name).Begin()
 	sw := &statusWriter{ResponseWriter: w, tr: tr}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
@@ -149,6 +156,60 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	}})
 }
 
+// writeShed answers a request that admission refused: the standard error
+// envelope as 503 overloaded plus a Retry-After hint sized from the
+// controller's queue wait bound.
+func (s *Server) writeShed(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(int(s.admit.RetryAfter()/time.Second)))
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// endpointWeight is the admission cost of one compute at the endpoint.
+// Image renders weigh 2 — a full raster join plus a PNG encode — so under
+// pressure two tile renders occupy the slots four JSON aggregations would.
+func endpointWeight(name string) int64 {
+	switch name {
+	case "/api/tile/", "/api/render/choropleth.png":
+		return 2
+	default:
+		return 1
+	}
+}
+
+// admitted wraps a compute function with admission control. It sits inside
+// the cache layer's compute path, so cache hits, 304 revalidations, and
+// coalesced waiters never touch the semaphore — only work that would
+// actually occupy the join kernels is counted against -max-inflight.
+func (s *Server) admitted(weight int64, compute func(context.Context) ([]byte, error)) func(context.Context) ([]byte, error) {
+	if s.admit == nil {
+		return compute
+	}
+	return func(ctx context.Context) ([]byte, error) {
+		release, err := s.admit.Acquire(ctx, weight)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return compute(ctx)
+	}
+}
+
+// admitRequest performs admission for an uncached compute endpoint,
+// writing the shed (503) or context-error (499/504) response itself when
+// admission refuses. The release func must be called iff ok.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.admit == nil {
+		return func() {}, true
+	}
+	release, err := s.admit.Acquire(r.Context(), endpointWeight(endpointName(r.URL.Path)))
+	if err != nil {
+		s.writeComputeError(w, err)
+		return nil, false
+	}
+	return release, true
+}
+
 // errorCode names a status for machine consumption (clients branch on the
 // code, not the prose).
 func errorCode(status int) string {
@@ -163,6 +224,8 @@ func errorCode(status int) string {
 		return "client_closed_request"
 	case trace.StatusGatewayTimeout:
 		return "query_timeout"
+	case http.StatusServiceUnavailable:
+		return "overloaded"
 	case http.StatusInternalServerError:
 		return "internal"
 	default:
@@ -340,6 +403,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ex, err := s.f.ExploreContext(r.Context(), ExplorationRequest{
 		Datasets: wreq.Datasets, Layer: wreq.Layer,
 		Agg: agg, Attr: wreq.Attr,
@@ -387,6 +455,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			metrics[i].Time = &core.TimeFilter{Start: m.Time.Start, End: m.Time.End}
 		}
 	}
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	scores, err := s.f.RankSimilarContext(r.Context(), wreq.Layer, wreq.TargetID, metrics)
 	if err != nil {
 		writeQueryError(w, err)
@@ -484,6 +557,11 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = &core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End}
 	}
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	view, err := s.f.FlowViewContext(r.Context(), req)
 	if err != nil {
 		writeQueryError(w, err)
@@ -521,30 +599,49 @@ type statsResponse struct {
 	QueryTimeoutMs float64               `json:"queryTimeoutMs"` // 0 = unbounded
 	LiveCanvases   int64                 `json:"liveCanvases"`
 	LiveTextures   int64                 `json:"liveTextures"`
+	Admission      admit.Stats           `json:"admission"`
+	Gauges         map[string]int64      `json:"gauges"`
 	Endpoints      []trace.EndpointStats `json:"endpoints"`
 }
 
 // handleStats reports the server's request statistics: GET /api/stats.
+// Like /api/cachestats it bypasses admission entirely — the overload
+// observability endpoint must answer precisely when the server is shedding.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	dev := s.f.rasterJoiner().Device()
+	adm := s.admit.Stats()
+	// Mirror the admission snapshot into the trace registry's gauge map so
+	// any consumer of the registry sees shed/queued/inflight without knowing
+	// about the admit package.
+	s.metrics.SetGauge("admit.inflight", adm.InFlight)
+	s.metrics.SetGauge("admit.queued", adm.Queued)
+	s.metrics.SetGauge("admit.shed", int64(adm.Shed))
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSec:      s.metrics.Uptime().Seconds(),
 		QueryTimeoutMs: float64(s.timeout) / float64(time.Millisecond),
 		LiveCanvases:   dev.LiveCanvases(),
 		LiveTextures:   dev.LiveTextures(),
+		Admission:      adm,
+		Gauges:         s.metrics.Gauges(),
 		Endpoints:      s.metrics.Snapshot(),
 	})
 }
 
 // decodePost decodes a JSON POST body into dst, writing the error response
-// itself when the request is malformed.
+// itself when the request is malformed. `server.decode` is a fault
+// injection site: the chaos suite uses it to prove malformed-input and
+// mid-decode failures keep producing well-formed error envelopes.
 func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	if err := fault.Inject(r.Context(), "server.decode"); err != nil {
+		writeQueryError(w, err)
 		return false
 	}
 	dec := json.NewDecoder(r.Body)

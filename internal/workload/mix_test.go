@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testMixConfig() MixConfig {
+	return MixConfig{
+		Datasets: []string{"taxi", "311"},
+		Layers:   []string{"nbhd", "grid"},
+		Attrs:    map[string][]string{"taxi": {"fare"}, "311": {"fare"}},
+		TimeMin:  0, TimeMax: 8 * 3600,
+		Regions: 12,
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := NewMix(testMixConfig(), 7)
+	b := NewMix(testMixConfig(), 7)
+	for i := 0; i < 500; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("req %d diverged:\n  %+v\n  %+v", i, ra, rb)
+		}
+	}
+	c := NewMix(testMixConfig(), 8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMixWellFormed(t *testing.T) {
+	m := NewMix(testMixConfig(), 3)
+	kinds := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		r := m.Next()
+		kinds[r.Kind]++
+		if !strings.HasPrefix(r.Path, "/api/") {
+			t.Fatalf("req %d: path %q outside /api/", i, r.Path)
+		}
+		switch r.Method {
+		case "GET":
+			if r.Body != "" {
+				t.Fatalf("req %d: GET %s with a body", i, r.Path)
+			}
+		case "POST":
+			if !json.Valid([]byte(r.Body)) {
+				t.Fatalf("req %d: POST %s body is invalid JSON: %s", i, r.Path, r.Body)
+			}
+		default:
+			t.Fatalf("req %d: unexpected method %q", i, r.Method)
+		}
+	}
+	// Every family must appear over 1000 draws.
+	for _, k := range []string{"mapview", "query", "heatmap", "delta", "explore", "tile", "choropleth", "stats", "cachestats"} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %q never generated (got %v)", k, kinds)
+		}
+	}
+}
+
+func TestServerMixConfig(t *testing.T) {
+	cfg := ServerMixConfig()
+	if len(cfg.Datasets) == 0 || len(cfg.Layers) == 0 || cfg.TimeMax <= cfg.TimeMin {
+		t.Fatalf("bad server mix config: %+v", cfg)
+	}
+}
