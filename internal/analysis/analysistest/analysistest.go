@@ -14,6 +14,8 @@
 package analysistest
 
 import (
+	"bytes"
+	"encoding/json"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -61,6 +63,63 @@ type expectation struct {
 // mismatch between diagnostics and // want expectations as test failures.
 func Run(t *testing.T, a *framework.Analyzer, pkg string) {
 	t.Helper()
+	diags, wants := analyze(t, a, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Position, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// RunGolden runs the analyzer over testdata/src/<pkg> like Run, then also
+// compares the findings — exact file, line, column, and message — against
+// the JSON golden file testdata/src/<pkg>/<analyzer>.golden.json. Set
+// UPDATE_GOLDEN=1 to (re)generate the golden file instead of comparing.
+// Want comments check positions by pattern; the golden pins them exactly,
+// so a diagnostic drifting by a column is caught too.
+func RunGolden(t *testing.T, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	Run(t, a, pkg)
+
+	diags, _ := analyze(t, a, pkg)
+	findings := []framework.Finding{} // marshal as [] rather than null
+	for _, d := range diags {
+		f := framework.FindingOf(d, "")
+		f.File = filepath.ToSlash(filepath.Base(f.File)) // fixture-dir independent
+		findings = append(findings, f)
+	}
+	got, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "src", pkg, a.Name+".golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (UPDATE_GOLDEN=1 to generate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("findings diverge from %s (UPDATE_GOLDEN=1 to regenerate)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// analyze loads, type-checks, and runs a over the fixture package,
+// returning suppression-filtered diagnostics and the parsed expectations.
+func analyze(t *testing.T, a *framework.Analyzer, pkg string) ([]framework.Diagnostic, []*expectation) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", pkg)
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
@@ -91,17 +150,7 @@ func Run(t *testing.T, a *framework.Analyzer, pkg string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	for _, d := range diags {
-		if !claim(wants, d) {
-			t.Errorf("unexpected diagnostic at %s: %s", d.Position, d.Message)
-		}
-	}
-	for _, w := range wants {
-		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-		}
-	}
+	return diags, wants
 }
 
 func claim(wants []*expectation, d framework.Diagnostic) bool {

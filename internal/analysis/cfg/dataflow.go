@@ -1,0 +1,105 @@
+package cfg
+
+// Forward may-reach dataflow over a Graph.
+//
+// Facts are opaque comparable keys (analyzers use per-site pointers). The
+// engine computes, for every block, the set of facts that MAY hold on entry
+// and on exit: In(b) is the union over predecessors p of Edge(p, b, Out(p)),
+// and Out(b) = Transfer(b, In(b)). Iteration runs to a fixpoint; since
+// transfer functions are monotone over a finite fact domain (gen/kill on a
+// fixed site set), termination is guaranteed.
+
+// Set is a fact set. Callers must treat returned sets as immutable.
+type Set[K comparable] map[K]bool
+
+// Clone returns a copy of s.
+func (s Set[K]) Clone() Set[K] {
+	c := make(Set[K], len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func (s Set[K]) equal(o Set[K]) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Result holds the fixpoint solution.
+type Result[K comparable] struct {
+	In, Out map[*Block]Set[K]
+}
+
+// Forward solves a forward may analysis.
+//
+// transfer maps a block's entry set to its exit set (gen/kill over the
+// block's nodes, in order). edge, when non-nil, refines the facts flowing
+// across one specific edge — the hook branch-sensitive analyzers use to
+// kill facts on, say, the "err != nil" edge of a conditional. Either
+// function may return its argument unchanged; neither may mutate it.
+func Forward[K comparable](g *Graph,
+	transfer func(b *Block, in Set[K]) Set[K],
+	edge func(from, to *Block, out Set[K]) Set[K],
+) *Result[K] {
+	res := &Result[K]{
+		In:  make(map[*Block]Set[K], len(g.Blocks)),
+		Out: make(map[*Block]Set[K], len(g.Blocks)),
+	}
+	for _, b := range g.Blocks {
+		res.In[b] = Set[K]{}
+		res.Out[b] = Set[K]{}
+	}
+
+	// Worklist seeded with every block in index order (entry first).
+	inList := make(map[*Block]bool, len(g.Blocks))
+	var work []*Block
+	for _, b := range g.Blocks {
+		work = append(work, b)
+		inList[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inList[b] = false
+
+		in := Set[K]{}
+		for _, p := range g.Preds(b) {
+			facts := res.Out[p]
+			if edge != nil {
+				facts = edge(p, b, facts)
+			}
+			for k := range facts {
+				in[k] = true
+			}
+		}
+		res.In[b] = in
+		out := transfer(b, in)
+		if out == nil {
+			out = Set[K]{}
+		}
+		if !out.equal(res.Out[b]) {
+			res.Out[b] = out
+			for _, s := range b.Succs {
+				if !inList[s] {
+					inList[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// AtExit returns the facts that may hold when the function returns — the
+// entry set of the synthetic exit block.
+func (r *Result[K]) AtExit(g *Graph) Set[K] { return r.In[g.Exit] }

@@ -1,0 +1,112 @@
+// Package funcs is the CFG builder's golden fixture: each function
+// exercises one control-flow shape the builder must model. The golden dump
+// (funcs.golden) pins the block/edge structure; regenerate with
+// UPDATE_GOLDEN=1 after intentional builder changes.
+package funcs
+
+import "context"
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func earlyReturn(err error) error {
+	if err != nil {
+		return err
+	}
+	work()
+	return nil
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			continue
+		}
+		if i == 9 {
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func switchFall(k int) string {
+	switch k {
+	case 1:
+		return "one"
+	case 2:
+		work()
+		fallthrough
+	case 3:
+		return "few"
+	default:
+		return "many"
+	}
+}
+
+func selectLoop(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+func gotoRetry(n int) int {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+	return n
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}
+
+func deferredCleanup(open func() (func(), error)) error {
+	release, err := open()
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+func panics(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+func work() {}

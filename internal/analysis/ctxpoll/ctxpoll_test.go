@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxpoll"
+)
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.RunGolden(t, ctxpoll.Analyzer, "core")
+}

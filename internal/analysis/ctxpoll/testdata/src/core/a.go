@@ -1,0 +1,54 @@
+// Flagged fixture for ctxpoll: context-holding kernel functions whose
+// draw loops never poll. The import path ends in /core, so the package is
+// under the contract; canvas types are local stand-ins.
+package core
+
+import "context"
+
+type canvas struct{}
+
+func (c *canvas) DrawPoints(n int)  {}
+func (c *canvas) DrawPolygon(k int) {}
+func drawRegion(c *canvas, k int)   {}
+func fillTile(c *canvas, x, y int)  {}
+
+// pollFreeRegionLoop loops over regions drawing each without ever looking
+// at ctx.
+func pollFreeRegionLoop(ctx context.Context, c *canvas, regions []int) error {
+	for _, k := range regions { // want "loop performs draw work but neither polls ctx.Err"
+		drawRegion(c, k)
+	}
+	return ctx.Err()
+}
+
+// pollFreeTileLoop: classic nested tile sweep, no poll anywhere.
+func pollFreeTileLoop(ctx context.Context, c *canvas, w, h int) error {
+	if err := ctx.Err(); err != nil { // polling before the loop is not polling inside it
+		return err
+	}
+	for y := 0; y < h; y++ { // want "loop performs draw work but neither polls ctx.Err"
+		for x := 0; x < w; x++ { // want "loop performs draw work but neither polls ctx.Err"
+			fillTile(c, x, y)
+		}
+	}
+	return nil
+}
+
+// pollOnlyInGoroutine: the poll lives in a spawned closure, which does not
+// cancel this loop.
+func pollOnlyInGoroutine(ctx context.Context, c *canvas, n int) {
+	watch := func() { <-ctx.Done() }
+	go watch()
+	for i := 0; i < n; i++ { // want "loop performs draw work but neither polls ctx.Err"
+		c.DrawPoints(i)
+	}
+}
+
+// suppressedLoop demonstrates the escape hatch.
+func suppressedLoop(ctx context.Context, c *canvas, bins []int) {
+	//lint:ignore ctxpoll fixture: bin count is tiny and bounded, poll amortized at the call site
+	for _, b := range bins {
+		c.DrawPolygon(b)
+	}
+	_ = ctx
+}

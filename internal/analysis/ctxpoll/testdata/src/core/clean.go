@@ -1,0 +1,77 @@
+// Clean fixture for ctxpoll: loops that poll directly, poll via their
+// condition, delegate the context, or do no draw work at all.
+package core
+
+import "context"
+
+// cleanDirectPoll polls per iteration — the point-batch shape.
+func cleanDirectPoll(ctx context.Context, c *canvas, batches []int) error {
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.DrawPoints(b)
+	}
+	return nil
+}
+
+// cleanCondPoll polls in the loop condition — the worker-claim shape.
+func cleanCondPoll(ctx context.Context, c *canvas, n int) {
+	i := 0
+	for ctx.Err() == nil {
+		if i >= n {
+			return
+		}
+		drawRegion(c, i)
+		i++
+	}
+}
+
+// cleanDelegated hands ctx to the callee that does the drawing — the
+// drawPointsBatched / parallelRegionsCtx shape.
+func cleanDelegated(ctx context.Context, c *canvas, tiles []int) error {
+	for _, t := range tiles {
+		if err := drawTileCtx(ctx, c, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func drawTileCtx(ctx context.Context, c *canvas, t int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fillTile(c, t, t)
+	return nil
+}
+
+// cleanSelectPoll polls through a select on ctx.Done().
+func cleanSelectPoll(ctx context.Context, c *canvas, work chan int) {
+	for {
+		select {
+		case k := <-work:
+			drawRegion(c, k)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// cleanNoWork loops without draw work: bookkeeping loops need no poll.
+func cleanNoWork(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	_ = ctx
+	return s
+}
+
+// cleanNoContext has no context in scope at all: out of ctxpoll's scope
+// (ctxflow owns the signature-level complaint).
+func cleanNoContext(c *canvas, regions []int) {
+	for _, k := range regions {
+		drawRegion(c, k)
+	}
+}

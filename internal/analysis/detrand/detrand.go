@@ -1,0 +1,177 @@
+// Package detrand enforces deterministic randomness in the replayable
+// subsystems (import paths ending in /workload, /fault, /chaos, /qcache):
+// every random draw must come from an explicitly seeded rand.Rand so a
+// scenario replays bit-identically from its recorded seed.
+//
+// Two things break replay and are flagged:
+//
+//	rand.Intn(n)                                // BAD: process-global source
+//	rand.New(rand.NewSource(time.Now().UnixNano())) // BAD: wall-clock seed
+//
+// The blessed shape is a per-scenario instance seeded from configuration:
+//
+//	rng := rand.New(rand.NewSource(cfg.Seed))   // GOOD
+//	rng.Intn(n)
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are allowed —
+// they are how seeded instances come to exist — and rand.Seed is flagged
+// in both spellings since reseeding the global source is still global
+// state. Seeds derived from time.Now anywhere inside a constructor or
+// Seed call are flagged even when routed through helper arithmetic.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "flags process-global math/rand use and time-derived seeds in the deterministic workload/fault/chaos/qcache packages",
+	Run:  run,
+}
+
+// watched are the import-path suffixes of the replay-deterministic
+// packages.
+var watched = []string{"/workload", "/fault", "/chaos", "/qcache"}
+
+// constructors are the package-level math/rand functions that build seeded
+// values rather than drawing from the global source.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// seeders are the call names whose arguments must not involve the clock.
+var seeders = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"Seed":      true,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || !watchedPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	// seen dedupes the time-seed sweep: in the nested shape
+	// rand.New(rand.NewSource(time.Now()...)) the same clock call sits in
+	// the argument subtree of two seeder calls.
+	seen := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, pkgPath := selectedFunc(pass, sel)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case pkgPath == "math/rand" && fn.Name() == "Seed":
+				pass.Reportf(sel.Pos(),
+					"rand.Seed reseeds the process-global source; use a per-scenario rand.New(rand.NewSource(seed)) instance so runs replay from their recorded seed")
+			case pkgPath == "math/rand" && !constructors[fn.Name()]:
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source and is not replayable; use a per-scenario rand.New(rand.NewSource(seed)) instance", fn.Name())
+			}
+			return true
+		})
+		// Second sweep: clock-derived seeds in constructor/Seed arguments,
+		// for both package-level and method spellings.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !seeders[sel.Sel.Name] {
+				return true
+			}
+			if !randRelated(pass, sel) {
+				return true
+			}
+			for _, a := range call.Args {
+				if pos, found := findTimeNow(pass, a); found && !seen[pos] {
+					seen[pos] = true
+					pass.Reportf(pos,
+						"time-derived seed makes runs unreplayable; record the seed in the scenario configuration and seed from that")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func watchedPkg(path string) bool {
+	for _, suffix := range watched {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectedFunc resolves sel to a function object plus the import path of
+// the package a package-qualified selector names ("" for methods).
+func selectedFunc(pass *framework.Pass, sel *ast.SelectorExpr) (*types.Func, string) {
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+			return fn, pn.Imported().Path()
+		}
+	}
+	return fn, ""
+}
+
+// randRelated reports whether sel names math/rand's package-level New/
+// NewSource/Seed or a method on *rand.Rand (rng.Seed).
+func randRelated(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	fn, pkgPath := selectedFunc(pass, sel)
+	if fn == nil {
+		return false
+	}
+	if pkgPath == "math/rand" {
+		return true
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "math/rand"
+}
+
+// findTimeNow reports the position of a time.Now call anywhere inside e.
+func findTimeNow(pass *framework.Pass, e ast.Expr) (token.Pos, bool) {
+	var at ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if at != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "time" {
+				at = call
+				return false
+			}
+		}
+		return true
+	})
+	if at == nil {
+		return token.NoPos, false
+	}
+	return at.Pos(), true
+}

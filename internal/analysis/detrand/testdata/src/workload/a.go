@@ -1,0 +1,48 @@
+// Flagged fixture for detrand: process-global math/rand draws and
+// clock-derived seeds in a replay-deterministic package.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraws pulls from the shared global source — a second goroutine
+// anywhere in the process perturbs the sequence.
+func globalDraws(n int) (int, float64) {
+	i := rand.Intn(n)                  // want "rand.Intn draws from the process-global source"
+	f := rand.Float64()                // want "rand.Float64 draws from the process-global source"
+	rand.Shuffle(n, func(a, b int) {}) // want "rand.Shuffle draws from the process-global source"
+	return i, f
+}
+
+// globalValueUse passes the package-level function as a value; still the
+// global source.
+func globalValueUse() func(int) int {
+	return rand.Intn // want "rand.Intn draws from the process-global source"
+}
+
+// reseedGlobal reseeds the shared source — global state even with a fixed
+// seed.
+func reseedGlobal(seed int64) {
+	rand.Seed(seed) // want "rand.Seed reseeds the process-global source"
+}
+
+// clockSeed builds a per-scenario instance but seeds it from the wall
+// clock, so no run ever replays.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time-derived seed makes runs unreplayable"
+}
+
+// clockSeedLaundered routes the clock through arithmetic; the subtree scan
+// still finds it.
+func clockSeedLaundered() *rand.Rand {
+	src := rand.NewSource(int64(time.Now().Nanosecond()) ^ 0x5bd1e995) // want "time-derived seed makes runs unreplayable"
+	return rand.New(src)
+}
+
+// suppressed shows the escape hatch.
+func suppressed() int {
+	//lint:ignore detrand fixture: jitter for a log sampler, replay is irrelevant here
+	return rand.Int()
+}

@@ -1,0 +1,176 @@
+// Package envelope enforces the unified error-envelope contract of the
+// urbane HTTP server: every error a handler sends to a client must go
+// through the envelope writer (writeError), which emits the stable
+//
+//	{"error":{"status":...,"code":"...","message":"..."}}
+//
+// shape clients parse. Raw http.Error, http.NotFound, and manual
+// WriteHeader(4xx/5xx) responses bypass the envelope and hand clients a
+// bare text/plain body instead:
+//
+//	http.Error(w, "no such dataset", 404)          // BAD: no envelope
+//	w.WriteHeader(http.StatusBadRequest)           // BAD: raw 400
+//	writeError(w, http.StatusNotFound, "no_dataset", msg) // GOOD
+//
+// The check applies to packages whose import path ends in /urbane. Two
+// places are exempt, because they ARE the envelope machinery: functions
+// whose name starts with "write" (writeError, writeJSON), and methods of
+// the statusWriter instrumentation wrapper. Success-class WriteHeader
+// calls (2xx/3xx — 204 No Content, 304 Not Modified) are always allowed.
+package envelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the envelope check.
+var Analyzer = &framework.Analyzer{
+	Name: "envelope",
+	Doc:  "flags raw http.Error/http.NotFound/WriteHeader(>=400) in urbane handlers; errors must go through the envelope writer",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || !strings.HasSuffix(pass.Pkg.Path(), "/urbane") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || exemptFunc(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports whether fd is part of the envelope machinery itself:
+// a write* helper or a statusWriter method.
+func exemptFunc(fd *ast.FuncDecl) bool {
+	if strings.HasPrefix(fd.Name.Name, "write") {
+		return true
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if recvTypeName(fd.Recv.List[0].Type) == "statusWriter" {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isNetHTTPFunc(pass, sel, "Error"):
+			pass.Reportf(call.Pos(),
+				"http.Error sends a bare text/plain error; use writeError so the client gets the error envelope")
+		case isNetHTTPFunc(pass, sel, "NotFound"):
+			pass.Reportf(call.Pos(),
+				"http.NotFound sends a bare text/plain 404; use writeError(w, http.StatusNotFound, ...) so the client gets the error envelope")
+		case sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 && isResponseWriter(pass.TypeOf(sel.X)):
+			if status, known := constInt(pass, call.Args[0]); known && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"raw WriteHeader(%d) bypasses the error envelope; use writeError so the client gets the error envelope", status)
+			}
+		}
+		return true
+	})
+}
+
+// isNetHTTPFunc reports whether sel is net/http's package-level function
+// named name (http.Error, http.NotFound).
+func isNetHTTPFunc(pass *framework.Pass, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "net/http"
+}
+
+// isResponseWriter reports whether t is (or points to) net/http's
+// ResponseWriter interface, or implements it. The instrumentation wrapper
+// types qualify through the implements check.
+func isResponseWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+			return true
+		}
+	}
+	// Structural fallback: anything with WriteHeader(int), Write([]byte)
+	// (int, error), Header() http.Header is a response writer in practice;
+	// checking just for a WriteHeader(int) method keeps this stdlib-only
+	// without materializing the interface.
+	m := lookupMethod(t, "WriteHeader")
+	if m == nil {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	basic, ok := sig.Params().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Int
+}
+
+func lookupMethod(t types.Type, name string) *types.Func {
+	if t == nil {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// constInt folds e to an integer constant if the type-checker did.
+func constInt(pass *framework.Pass, e ast.Expr) (int64, bool) {
+	if pass.TypesInfo == nil {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

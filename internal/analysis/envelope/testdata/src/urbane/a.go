@@ -1,0 +1,39 @@
+// Flagged fixture for envelope: handlers that bypass the error envelope
+// with raw net/http error helpers or manual 4xx/5xx status writes.
+package urbane
+
+import "net/http"
+
+// handleLegacy uses http.Error directly — the client gets text/plain
+// instead of the envelope.
+func handleLegacy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed) // want "http.Error sends a bare text/plain error"
+		return
+	}
+	w.Write([]byte("ok"))
+}
+
+// handleMissing uses http.NotFound — same bypass, 404 flavor.
+func handleMissing(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want "http.NotFound sends a bare text/plain 404"
+}
+
+// handleManual writes the status line by hand and follows with an ad-hoc
+// body.
+func handleManual(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusBadRequest) // want "raw WriteHeader\\(400\\) bypasses the error envelope"
+	w.Write([]byte("bad request"))
+}
+
+// handleLiteral uses a literal status code; constant folding still sees
+// 500.
+func handleLiteral(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(500) // want "raw WriteHeader\\(500\\) bypasses the error envelope"
+}
+
+// handleSuppressed shows the escape hatch.
+func handleSuppressed(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore envelope fixture: probe endpoint intentionally returns a bare status for load balancers
+	w.WriteHeader(http.StatusServiceUnavailable)
+}

@@ -1,0 +1,63 @@
+// Clean fixture for envelope: the envelope machinery itself, handlers
+// that use it, and success-class status writes.
+package urbane
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeError IS the envelope writer — write* helpers are exempt so the
+// envelope can be emitted somewhere.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"status": status, "code": code, "message": msg},
+	})
+}
+
+// writeJSON is likewise exempt; it never writes error statuses anyway.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusWriter is the instrumentation wrapper; its methods forward raw
+// status codes by design.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// handleEnveloped routes every error through writeError.
+func handleEnveloped(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleNotModified writes a success-class status by hand — 304 is not an
+// error and carries no body, so no envelope applies.
+func handleNotModified(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNotModified)
+}
+
+// handleNoContent likewise: 204 is success-class.
+func handleNoContent(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDynamicStatus passes a non-constant status through the wrapper;
+// without a constant the check stays quiet rather than guessing.
+func handleDynamicStatus(w http.ResponseWriter, r *http.Request, status int) {
+	w.WriteHeader(status)
+}

@@ -1,0 +1,113 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is the machine-readable (and baseline) form of a Diagnostic:
+// the file path is made root-relative with forward slashes so baselines
+// and JSON output are stable across checkouts and operating systems.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FindingOf converts d, relativizing its path against root (the module
+// root or working directory). Paths outside root pass through unchanged.
+func FindingOf(d Diagnostic, root string) Finding {
+	file := d.Position.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+			file = rel
+		}
+	}
+	return Finding{
+		File:     filepath.ToSlash(file),
+		Line:     d.Position.Line,
+		Column:   d.Position.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// Baseline is a committed inventory of known findings. New findings —
+// those not in the baseline — fail the lint gate; baselined ones are
+// reported but tolerated, which is what makes CI diff-aware: a PR is
+// judged only on the findings it introduces.
+//
+// Matching deliberately ignores line and column: unrelated edits shift
+// positions, and a baseline that rots on every reformat is a baseline
+// people stop trusting. Identity is (file, analyzer, message), as a
+// multiset — two identical leaks in one file need two baseline entries.
+type Baseline struct {
+	Findings []Finding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes findings as a stable, sorted baseline file.
+func WriteBaseline(path string, findings []Finding) error {
+	sorted := make([]Finding, 0, len(findings))
+	sorted = append(sorted, findings...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(Baseline{Findings: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Split partitions findings into those the baseline tolerates and those
+// it does not, consuming baseline entries multiset-style.
+func (b *Baseline) Split(findings []Finding) (known, fresh []Finding) {
+	budget := make(map[string]int)
+	if b != nil {
+		for _, f := range b.Findings {
+			budget[baselineKey(f)]++
+		}
+	}
+	for _, f := range findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			known = append(known, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return known, fresh
+}
+
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}

@@ -28,10 +28,10 @@ type Analyzer struct {
 
 // Pass carries one type-checked package through an Analyzer's Run.
 type Pass struct {
-	Analyzer *Analyzer
-	Fset     *token.FileSet
-	Files    []*ast.File
-	Pkg      *types.Package
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
 	TypesInfo *types.Info
 
 	diags []Diagnostic
@@ -61,8 +61,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Diagnostics returns the findings reported so far, sorted by position.
 func (p *Pass) Diagnostics() []Diagnostic {
-	sort.SliceStable(p.diags, func(i, j int) bool {
-		a, b := p.diags[i].Position, p.diags[j].Position
+	sortDiagnostics(p.diags)
+	return p.diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -71,7 +76,6 @@ func (p *Pass) Diagnostics() []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return p.diags
 }
 
 // ObjectOf resolves an identifier through Uses then Defs.
@@ -93,23 +97,43 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // RunAnalyzer executes a on one package and returns its diagnostics with
 // //lint:ignore suppressions already filtered out.
 func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
-	}
+	return RunAll([]*Analyzer{a}, fset, files, pkg, info, false)
+}
+
+// RunAll executes every analyzer over one package through a single shared
+// suppression index, so //lint:ignore usage is tracked across the whole
+// set. When audit is true the suppression audit runs afterwards and its
+// findings — malformed directives, unknown analyzer names, directives
+// that no longer suppress anything — are appended, attributed to the
+// pseudo-analyzer AuditName. Only pass audit=true when analyzers is the
+// full set: staleness cannot be judged for a directive whose analyzer
+// never ran.
+func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, audit bool) ([]Diagnostic, error) {
 	ig := BuildIgnores(fset, files)
+	ran := make(map[string]bool, len(analyzers))
 	var keep []Diagnostic
-	for _, d := range pass.Diagnostics() {
-		if ig.Ignored(d.Position, a.Name) {
-			continue
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
 		}
-		keep = append(keep, d)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		ran[a.Name] = true
+		for _, d := range pass.Diagnostics() {
+			if ig.Ignored(d.Position, a.Name) {
+				continue
+			}
+			keep = append(keep, d)
+		}
 	}
+	if audit {
+		keep = append(keep, ig.Audit(ran, ran)...)
+	}
+	sortDiagnostics(keep)
 	return keep, nil
 }

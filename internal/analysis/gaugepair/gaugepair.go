@@ -1,0 +1,279 @@
+// Package gaugepair is the flow-sensitive gauge-balance check: when a
+// function both increments and decrements the same atomic gauge — the
+// admission controller's queued waiters, the per-endpoint in-flight count —
+// every increment must be matched by a reachable decrement on *every* path
+// to return, or the gauge drifts and /api/stats lies forever after:
+//
+//	c.queued.Add(1)
+//	select {
+//	case <-w.ready:
+//		c.queued.Add(-1)
+//	case <-ctx.Done():
+//		return nil, ctx.Err() // BAD: queued is now permanently off by one
+//	}
+//
+// The analysis builds the function's CFG and runs a forward may-reach
+// dataflow: the increment generates a fact, a decrement of the same gauge —
+// direct, deferred, or inside a closure the function registers or returns —
+// kills it, and a fact reaching the exit block is reported.
+//
+// Scope: gauges are fields (or variables) of type sync/atomic.Int32/Int64,
+// matched by type. Functions that only increment (monotonic counters,
+// cross-function pairs like AcquireTexture/ReleaseTexture whose decrement
+// lives elsewhere) are out of scope by construction: the check only arms
+// when an increment and a decrement of the same gauge appear in the same
+// function, which is exactly the pairing it then proves total.
+package gaugepair
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the gaugepair check.
+var Analyzer = &framework.Analyzer{
+	Name: "gaugepair",
+	Doc:  "flags atomic gauge increments not balanced by a decrement on every path to return (CFG-based)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, cfg.FuncName(fn), fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, "func literal", fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// site is one gauge increment occurrence.
+type site struct {
+	call  *ast.CallExpr
+	gauge string
+}
+
+func checkFunc(pass *framework.Pass, name string, body *ast.BlockStmt) {
+	// Census: every inc and dec in the function, including inside nested
+	// closures (a dec in a registered/returned closure balances the pair).
+	incs, decs := census(pass, body)
+	if len(incs) == 0 || len(decs) == 0 {
+		return
+	}
+	decGauges := make(map[string]bool, len(decs))
+	for _, d := range decs {
+		decGauges[d.gauge] = true
+	}
+	// Facts: increments of gauges that this function also decrements
+	// somewhere. Top-level increments only — incs inside nested closures
+	// belong to the closure's own graph.
+	var facts []*site
+	for _, s := range incs {
+		if decGauges[s.gauge] && !insideNestedFunc(body, s.call) {
+			facts = append(facts, s)
+		}
+	}
+	if len(facts) == 0 {
+		return
+	}
+
+	g := cfg.New(name, body)
+	transfer := func(b *cfg.Block, in cfg.Set[*site]) cfg.Set[*site] {
+		out := in.Clone()
+		for _, n := range b.Nodes {
+			for _, fct := range facts {
+				switch {
+				case containsCall(n, fct.call):
+					out[fct] = true
+				case out[fct] && decrementsWithin(pass, n, fct.gauge):
+					delete(out, fct)
+				}
+			}
+		}
+		return out
+	}
+	res := cfg.Forward(g, transfer, nil)
+	for fct := range res.AtExit(g) {
+		pass.Reportf(fct.call.Pos(),
+			"gauge %s is incremented here but not decremented on every path to return; the gauge drifts permanently on the unbalanced path", fct.gauge)
+	}
+}
+
+// census walks the whole body (closures included) classifying atomic Add
+// calls into increments and decrements.
+func census(pass *framework.Pass, body *ast.BlockStmt) (incs, decs []*site) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		gauge, dir := classify(pass, call)
+		if gauge == "" {
+			return true
+		}
+		s := &site{call: call, gauge: gauge}
+		if dir > 0 {
+			incs = append(incs, s)
+		} else if dir < 0 {
+			decs = append(decs, s)
+		}
+		return true
+	})
+	return incs, decs
+}
+
+// classify recognizes `g.Add(x)` on an atomic int gauge and returns the
+// gauge's rendered path plus the sign of the delta (+1 inc, -1 dec, 0
+// unknown/zero).
+func classify(pass *framework.Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+		return "", 0
+	}
+	if !isAtomicInt(pass.TypeOf(sel.X)) {
+		return "", 0
+	}
+	return renderExpr(sel.X), deltaSign(pass, call.Args[0])
+}
+
+func isAtomicInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Int32", "Int64":
+		return true
+	}
+	return false
+}
+
+// deltaSign reports the sign of the Add argument: constant folding first,
+// then the syntactic unary-minus convention (`Add(-n)` is a decrement even
+// when n is a variable).
+func deltaSign(pass *framework.Pass, arg ast.Expr) int {
+	if tv, ok := typeAndValue(pass, arg); ok && tv != nil {
+		if v, ok := constant.Int64Val(tv); ok {
+			switch {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		}
+	}
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		return -1
+	}
+	return 1
+}
+
+func typeAndValue(pass *framework.Pass, e ast.Expr) (constant.Value, bool) {
+	if pass.TypesInfo == nil {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil, false
+	}
+	return tv.Value, true
+}
+
+// decrementsWithin reports whether node n (statement, defer, closure —
+// closures count: registering or returning one hands the balance obligation
+// over with it) contains a decrement of gauge.
+func decrementsWithin(pass *framework.Pass, n ast.Node, gauge string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if g, dir := classify(pass, call); g == gauge && dir < 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsCall reports whether node n contains target outside any nested
+// function literal (the inc must execute in this block, not at some later
+// call of a closure).
+func containsCall(n ast.Node, target *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m == ast.Node(target) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// insideNestedFunc reports whether target sits inside a FuncLit nested in
+// body (rather than in body's own straight-line statements).
+func insideNestedFunc(body *ast.BlockStmt, target *ast.CallExpr) bool {
+	inside := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == ast.Node(target) {
+			for _, s := range stack {
+				if _, ok := s.(*ast.FuncLit); ok {
+					inside = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return inside
+}
+
+// renderExpr prints the gauge's selector path ("c.queued") in a normalized
+// single-line form used as the pairing key.
+func renderExpr(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return strings.Join(strings.Fields(buf.String()), "")
+}

@@ -1,0 +1,12 @@
+package gaugepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/gaugepair"
+)
+
+func TestGaugepair(t *testing.T) {
+	analysistest.RunGolden(t, gaugepair.Analyzer, "a")
+}

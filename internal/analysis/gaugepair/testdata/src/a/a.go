@@ -1,0 +1,56 @@
+// Flagged fixture for gaugepair: increments whose decrement misses at
+// least one path. Uses real sync/atomic types — matching is type-based.
+package a
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type ctrl struct {
+	queued   atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Uint64
+}
+
+// leakOnCancelPath forgets the decrement on the ctx.Done arm — the exact
+// drift the admission queue gauge must never exhibit.
+func (c *ctrl) leakOnCancelPath(ctx context.Context, ready chan struct{}) error {
+	c.queued.Add(1) // want "gauge c.queued is incremented here but not decremented on every path"
+	select {
+	case <-ready:
+		c.queued.Add(-1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err() // drift: queued never comes back down
+	}
+}
+
+// leakOnEarlyReturn decrements only after the work, missing the error
+// return.
+func (c *ctrl) leakOnEarlyReturn(ctx context.Context) error {
+	c.inflight.Add(1) // want "gauge c.inflight is incremented here but not decremented on every path"
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.inflight.Add(-1)
+	return nil
+}
+
+// leakWeighted uses the weighted inc/dec convention (Add(n)/Add(-n)) and
+// misses one branch.
+func (c *ctrl) leakWeighted(n int64, ok bool) {
+	c.queued.Add(n) // want "gauge c.queued is incremented here but not decremented on every path"
+	if ok {
+		c.queued.Add(-n)
+	}
+}
+
+// suppressed shows the escape hatch with a named, reasoned directive.
+func (c *ctrl) suppressed(flaky bool) {
+	//lint:ignore gaugepair fixture: drift on the flaky path is asserted by a runtime test instead
+	c.inflight.Add(1)
+	if !flaky {
+		c.inflight.Add(-1)
+	}
+}

@@ -1,0 +1,58 @@
+// Clean fixture for gaugepair: balanced pairs, deferred decrements,
+// closure handoffs, and out-of-scope monotonic counters.
+package a
+
+import "context"
+
+// cleanDeferred balances through a defer registered right after the inc.
+func (c *ctrl) cleanDeferred(ctx context.Context) error {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	return ctx.Err()
+}
+
+// cleanAllArms decrements on every select arm, mirroring the admission
+// controller's queue accounting.
+func (c *ctrl) cleanAllArms(ctx context.Context, ready chan struct{}) error {
+	c.queued.Add(1)
+	select {
+	case <-ready:
+		c.queued.Add(-1)
+		return nil
+	case <-ctx.Done():
+		c.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// cleanClosureHandoff returns the decrement in a release closure — the
+// pattern the per-endpoint in-flight gauge uses; the obligation transfers
+// to the caller with the closure.
+func (c *ctrl) cleanClosureHandoff() func() {
+	c.inflight.Add(1)
+	return func() {
+		c.inflight.Add(-1)
+	}
+}
+
+// cleanMonotonicCounter only ever increments: a counter, not a gauge —
+// out of scope by construction.
+func (c *ctrl) cleanMonotonicCounter() {
+	c.shed.Add(1)
+}
+
+// cleanCrossFunctionPair increments here and decrements in a sibling — the
+// AcquireTexture/ReleaseTexture shape. No dec in this function, so the
+// check does not arm.
+func (c *ctrl) acquireSide() { c.inflight.Add(1) }
+func (c *ctrl) releaseSide() { c.inflight.Add(-1) }
+
+// cleanWeighted balances a weighted add on both branches.
+func (c *ctrl) cleanWeighted(n int64, fast bool) {
+	c.queued.Add(n)
+	if fast {
+		c.queued.Add(-n)
+		return
+	}
+	c.queued.Add(-n)
+}

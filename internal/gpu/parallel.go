@@ -138,6 +138,7 @@ func (c *Canvas) DrawPointsParallel(ctx context.Context, workers, n int,
 						shaded.Add(count)
 						return
 					}
+					//lint:ignore ctxpoll the enclosing chunk loop polls every fragChunk fragments; per-fragment polling would put an atomic load in the shader inner loop
 					for _, f := range frags[s:min(s+fragChunk, len(frags))] {
 						shader(int(f.pix)%w, int(f.pix)/w, int(f.i))
 					}

@@ -201,9 +201,31 @@ func TestIndexPage(t *testing.T) {
 			t.Errorf("index page missing %q", want)
 		}
 	}
-	// Unknown paths 404 rather than serving the index.
-	if rec := doJSON(t, s, http.MethodGet, "/nope", nil); rec.Code != http.StatusNotFound {
+	// Unknown paths 404 rather than serving the index — and the 404 is
+	// the JSON error envelope, not http.NotFound's text/plain (regression:
+	// handleIndex once bypassed writeError for its catch-all).
+	rec = doJSON(t, s, http.MethodGet, "/nope", nil)
+	if rec.Code != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("unknown path content type = %q, want JSON envelope", ct)
+	}
+	var envelope struct {
+		Error struct {
+			Status  int    `json:"status"`
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("unknown path body is not the JSON envelope: %v\n%s", err, rec.Body.String())
+	}
+	if envelope.Error.Status != http.StatusNotFound || envelope.Error.Code != "not_found" {
+		t.Errorf("envelope = %+v, want status 404 code not_found", envelope.Error)
+	}
+	if !strings.Contains(envelope.Error.Message, "/nope") {
+		t.Errorf("envelope message %q does not name the missing path", envelope.Error.Message)
 	}
 }
 

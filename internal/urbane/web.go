@@ -1,13 +1,18 @@
 package urbane
 
-import "net/http"
+import (
+	"fmt"
+	"net/http"
+)
 
 // handleIndex serves the embedded single-file demo frontend: a canvas map
 // that fetches the region layer, runs map-view queries with ad-hoc filters,
 // and paints the choropleth — the interaction loop demo visitors drive.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
-		http.NotFound(w, r)
+		// Everything this server emits — including the catch-all 404 —
+		// uses the JSON error envelope, not http.NotFound's text/plain.
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such path %q", r.URL.Path))
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
