@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke verify
+.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke verify
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test ./internal/query -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/urbane -run='^$$' -fuzz='^FuzzAdmitEnvelope$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/geoblocks -run='^$$' -fuzz='^FuzzClassify$$' -fuzztime=$(FUZZTIME)
 
 # Parallel point pass and span cache suite under the race detector: the
 # bit-identical property tests (parallel == sequential at every worker
@@ -72,5 +73,14 @@ stress:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'Chaos|Soak|Replay' ./internal/chaos
 	$(GO) test -race -count=1 ./internal/admit ./internal/fault
+
+# GeoBlocks hierarchy equivalence gate under the race detector: a seeded
+# pyramid build plus 50 hybrid-vs-full-join queries across all five
+# aggregates (TestGeoBlocksSmoke), and the concurrent build-while-query
+# stress.
+geoblocks-smoke:
+	$(GO) test -race -count=1 \
+		-run '^(TestGeoBlocksSmoke|TestConcurrentBuildWhileQuery)$$' \
+		./internal/geoblocks
 
 verify: build vet lint test

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/data"
 	"repro/internal/fsum"
+	"repro/internal/geoblocks"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/index"
@@ -721,6 +722,99 @@ func runE17(scale float64) {
 			CacheMisses: st.Misses,
 		}
 	})
+}
+
+// ---------------------------------------------------------------- E19
+
+// geoblocksJSON is the machine-readable mirror of E19, written to
+// BENCH_geoblocks.json.
+type geoblocksJSON struct {
+	Cores    int                `json:"cores"`
+	Points   int                `json:"points"`
+	MaxLevel int                `json:"max_level"`
+	Rows     []geoblocksRowJSON `json:"selectivity_sweep"`
+}
+
+type geoblocksRowJSON struct {
+	Shape        string  `json:"shape"`
+	Vertices     int     `json:"vertices"`
+	Count        int64   `json:"count"`
+	RasterWarmNs int64   `json:"raster_warm_ns_per_op"`
+	HybridWarmNs int64   `json:"hybrid_warm_ns_per_op"`
+	HybridColdNs int64   `json:"hybrid_cold_ns_per_op"`
+	WarmSpeedup  float64 `json:"warm_speedup_vs_raster"`
+}
+
+// runE19 sweeps arbitrary-polygon aggregation selectivity through the
+// geoblocks hierarchy against the warm span-cache raster path. Three
+// polygon scales: "tiny" (a few blocks), "city" (a district-sized star),
+// "borough" (roughly half the city). The raster side gets every advantage
+// we ship — accurate mode, warm pools, warm span cache — so the speedup
+// column is hierarchy vs our best full-join path, not vs a strawman.
+// Counts are asserted identical before any timing is reported.
+func runE19(scale float64) {
+	n := scaled(500_000, scale, 100_000)
+	scene := workload.NYC(n, 2009)
+	ps := scene.Taxi
+	b := ps.Bounds()
+	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
+	span := b.MaxX - b.MinX
+	if h := b.MaxY - b.MinY; h < span {
+		span = h
+	}
+	shapes := []struct {
+		name string
+		pg   geom.Polygon
+	}{
+		{"tiny", geom.NewPolygon(geom.RegularRing(geom.Point{X: cx + span*0.1, Y: cy - span*0.05}, span*0.01, 8))},
+		{"city", geom.NewPolygon(geom.StarRing(geom.Point{X: cx, Y: cy + span*0.08}, span*0.18, span*0.09, 9))},
+		{"borough", geom.NewPolygon(geom.RegularRing(geom.Point{X: cx, Y: cy}, span*0.45, 20))},
+	}
+
+	const maxLevel = 8
+	dev := gpu.New()
+	raster := core.NewRasterJoin(core.WithDevice(dev), core.WithResolution(1024),
+		core.WithMode(core.Accurate))
+	eng := geoblocks.NewEngine(raster, maxLevel)
+	fmt.Printf("workload: %d points, accurate 1024px raster vs geoblocks maxlevel=%d\n", n, maxLevel)
+
+	rep := geoblocksJSON{Cores: runtime.NumCPU(), Points: n, MaxLevel: maxLevel}
+	t := newTable("polygon", "count", "raster warm", "hybrid cold", "hybrid warm", "warm speedup")
+	gen := uint64(1)
+	for _, sh := range shapes {
+		rs := &data.RegionSet{Name: "poly", Regions: []data.Region{{ID: 0, Name: sh.name, Poly: sh.pg}}}
+		req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "fare"}
+
+		want, err := raster.Join(req) // also warms pools + span cache
+		must(err)
+		rasterLat := timeMedian(5, func() { _, err := raster.Join(req); must(err) })
+
+		// Cold: the store drops on a generation bump, so the first query
+		// pays the full pyramid build.
+		gen++
+		eng.Store().SetGeneration(gen)
+		var coldRes *core.Result
+		coldLat := timeMedian(1, func() { r, err := eng.Join(req); must(err); coldRes = r })
+		warmLat := timeMedian(5, func() { _, err := eng.Join(req); must(err) })
+
+		if coldRes.Stats[0].Count != want.Stats[0].Count {
+			panic(fmt.Sprintf("E19 %s: hybrid count %d != raster count %d",
+				sh.name, coldRes.Stats[0].Count, want.Stats[0].Count))
+		}
+		speedup := float64(rasterLat) / float64(warmLat)
+		t.row(sh.name, want.Stats[0].Count, rasterLat, coldLat, warmLat, speedup)
+		rep.Rows = append(rep.Rows, geoblocksRowJSON{
+			Shape: sh.name, Vertices: len(sh.pg.Outer), Count: want.Stats[0].Count,
+			RasterWarmNs: rasterLat.Nanoseconds(), HybridWarmNs: warmLat.Nanoseconds(),
+			HybridColdNs: coldLat.Nanoseconds(), WarmSpeedup: speedup,
+		})
+	}
+	t.flush()
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_geoblocks.json", append(out, '\n'), 0o644))
+	fmt.Printf("\nwrote BENCH_geoblocks.json\n")
 }
 
 func must(err error) {

@@ -45,6 +45,7 @@ var experiments = []experiment{
 	{"E13", "Polygon level-of-detail: simplification tolerance ablation", runE13},
 	{"E16", "Parallel sharded point pass: worker scaling, bit-identical results", runE16},
 	{"E17", "Region span cache: cold vs warm vs disabled on the tract layer", runE17},
+	{"E19", "GeoBlocks hierarchy: arbitrary-polygon selectivity sweep vs raster path", runE19},
 }
 
 func main() {

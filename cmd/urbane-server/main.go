@@ -53,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/fault"
+	"repro/internal/geoblocks"
 	"repro/internal/gpu"
 	"repro/internal/urbane"
 	"repro/internal/workload"
@@ -89,6 +90,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	admitWait := fs.Duration("admit-wait", admit.DefaultMaxWait, "max time a request waits in the admission queue before shedding (bounded further by its own deadline)")
 	faultSpec := fs.String("faults", "", "deterministic fault injection spec, e.g. \"core.pointpass=latency:0.2:5ms,qcache.compute=error:0.05\" (chaos testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the -faults schedule; same seed = same schedule")
+	geoBlocks := fs.Bool("geoblocks", false, "enable the pre-aggregated spatial hierarchy: unfiltered polygon aggregation folds stored per-cell aggregates and refines only the boundary fringe")
+	geoBlocksMaxLevel := fs.Int("geoblocks-maxlevel", geoblocks.DefaultMaxLevel, "finest geoblocks pyramid level (2^L cells per side); higher = thinner fringes, more memory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +124,12 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 		if err != nil {
 			return err
 		}
+	}
+
+	if *geoBlocks {
+		f.EnableGeoBlocks(*geoBlocksMaxLevel)
+		log.Printf("geoblocks hierarchy enabled (maxlevel %d); indexes build lazily on first query per data set",
+			*geoBlocksMaxLevel)
 	}
 
 	if *buildCube {

@@ -52,3 +52,15 @@ func suppressedLoop(ctx context.Context, c *canvas, bins []int) {
 	}
 	_ = ctx
 }
+
+func rasterizeCell(c *canvas, cell int) {}
+
+// refineFringeNoPoll models the geoblocks fringe-refinement loop with its
+// poll removed: per-cell rasterization, unbounded cells, no ctx check
+// anywhere inside the loop.
+func refineFringeNoPoll(ctx context.Context, c *canvas, fringe []int) error {
+	for _, cell := range fringe { // want "loop performs draw work but neither polls ctx.Err"
+		rasterizeCell(c, cell)
+	}
+	return ctx.Err()
+}

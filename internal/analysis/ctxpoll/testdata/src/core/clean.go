@@ -75,3 +75,18 @@ func cleanNoContext(c *canvas, regions []int) {
 		drawRegion(c, k)
 	}
 }
+
+// cleanStridedRefine is the shipped refinement shape: the poll is
+// amortized to every 64th cell, but it is inside the loop, so the
+// contract is met at any stride.
+func cleanStridedRefine(ctx context.Context, c *canvas, fringe []int) error {
+	for i, cell := range fringe {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rasterizeCell(c, cell)
+	}
+	return nil
+}

@@ -95,3 +95,21 @@ func suppressedLeak(d *Device) *Texture {
 }
 
 var keep []float64
+
+// leakRefinementAbort models the geoblocks-style fringe-refinement loop:
+// a scratch canvas held across per-cell work, leaked when the
+// stride-amortized cancellation poll aborts mid-loop.
+func leakRefinementAbort(ctx context.Context, d *Device, fringe []int) error {
+	c, err := d.NewCanvas(64, 64) // want "canvas acquired here is not released on every path"
+	if err != nil {
+		return err
+	}
+	for i, cell := range fringe {
+		if i%64 == 0 && ctx.Err() != nil {
+			return ctx.Err() // leak: abort path skips the release
+		}
+		c.DrawPoints(cell)
+	}
+	c.Release()
+	return nil
+}

@@ -91,3 +91,21 @@ func returnHelper(d *Device) *Texture {
 	tex := d.AcquireTexture(2, 2)
 	return tex
 }
+
+// cleanRefinementDefer is the corrected refinement loop: the defer
+// registered right after acquisition covers the stride-amortized abort
+// path inside the loop.
+func cleanRefinementDefer(ctx context.Context, d *Device, fringe []int) error {
+	c, err := d.NewCanvas(64, 64)
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	for i, cell := range fringe {
+		if i%64 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.DrawPoints(cell)
+	}
+	return nil
+}

@@ -55,6 +55,9 @@ func buildFramework(t testing.TB, dev *gpu.Device) *urbane.Framework {
 			t.Fatal(err)
 		}
 	}
+	// The hierarchy serves the mix's polygon family; enabling it on every
+	// framework (soaked and pristine alike) keeps replay byte-identical.
+	f.EnableGeoBlocks(6)
 	return f
 }
 
@@ -65,6 +68,7 @@ func mixConfig() workload.MixConfig {
 		Attrs:    map[string][]string{"taxi": {"fare"}, "311": {"fare"}},
 		TimeMin:  0, TimeMax: 8 * 3600,
 		Regions: 12,
+		Bounds:  [4]float64{0, 0, 1000, 1000},
 	}
 }
 

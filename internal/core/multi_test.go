@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/data"
 )
 
 // MultiJoin must equal per-spec Joins, spec by spec, in both modes.
@@ -85,10 +86,10 @@ func TestMultiJoinErrors(t *testing.T) {
 		{Agg: core.Count, Filters: []core.Filter{{Attr: "nope"}}}}); err == nil {
 		t.Error("unknown spec filter attribute should fail")
 	}
-	noT := ps
-	noTCopy := *noT
-	noTCopy.T = nil
-	if _, err := rj.MultiJoin(core.Request{Points: &noTCopy, Regions: rs},
+	// Field-wise copy: PointSet carries an atomic identity stamp, so a
+	// by-value copy is both a vet violation and semantically wrong.
+	noTCopy := &data.PointSet{Name: ps.Name, X: ps.X, Y: ps.Y, Attrs: ps.Attrs}
+	if _, err := rj.MultiJoin(core.Request{Points: noTCopy, Regions: rs},
 		[]core.AggSpec{{Agg: core.Count, Time: &core.TimeFilter{Start: 0, End: 1}}}); err == nil {
 		t.Error("spec time filter without timestamps should fail")
 	}

@@ -8,6 +8,7 @@ package data
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -31,6 +32,28 @@ type PointSet struct {
 	T []int64
 	// Attrs are the attribute columns, all of length Len().
 	Attrs []Column
+
+	stamp atomic.Uint64
+}
+
+// pointSetStamps issues process-unique PointSet identities; 0 is reserved
+// for "not yet stamped".
+var pointSetStamps atomic.Uint64
+
+// Stamp returns a process-unique identity for this point set, assigned
+// lazily on first call. Caches keyed by point data (the geoblocks
+// hierarchy) use it instead of the Name — names can be reused across
+// re-registered data sets. Callers must treat the columns as immutable
+// once the set is stamped.
+func (ps *PointSet) Stamp() uint64 {
+	if s := ps.stamp.Load(); s != 0 {
+		return s
+	}
+	s := pointSetStamps.Add(1)
+	if ps.stamp.CompareAndSwap(0, s) {
+		return s
+	}
+	return ps.stamp.Load()
 }
 
 // Len returns the number of points.

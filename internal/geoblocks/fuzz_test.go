@@ -1,0 +1,80 @@
+package geoblocks
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzClassify throws arbitrary ring geometry at the classifier and
+// checks the full classification contract with the grid-paint oracle: no
+// finest cell is both summed and refined, fringe cells sit at the finest
+// level, and brute-force point-in-polygon agrees with the plan for every
+// indexed point (nothing dropped, nothing double-counted). The corpus
+// bytes decode as a stream of float64 coordinate pairs plus one level
+// byte, so the fuzzer mutates vertex positions, vertex count, and
+// pyramid depth all at once.
+func FuzzClassify(f *testing.F) {
+	seed := func(level byte, pts ...float64) {
+		b := []byte{level}
+		for _, v := range pts {
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			b = append(b, w[:]...)
+		}
+		f.Add(b)
+	}
+	// Triangle, cell-aligned square, degenerate zero-area spike, bowtie
+	// (self-intersecting — even-odd semantics still well defined), and a
+	// ring far outside the grid.
+	seed(4, 100, 100, 900, 150, 500, 800)
+	seed(5, 250, 250, 500, 250, 500, 500, 250, 500)
+	seed(3, 10, 10, 990, 990, 10, 10)
+	seed(6, 0, 0, 1000, 1000, 1000, 0, 0, 1000)
+	seed(4, 5000, 5000, 6000, 5000, 5500, 6000)
+
+	ps := genPoints(f, 600, 1234)
+	indexes := map[int]*Index{}
+	for _, lvl := range []int{2, 3, 4, 5} {
+		ix, err := BuildContext(context.Background(), ps, lvl)
+		if err != nil {
+			f.Fatal(err)
+		}
+		indexes[lvl] = ix
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) < 1+3*16 { // level byte + at least three vertices
+			t.Skip()
+		}
+		lvl := 2 + int(b[0])%4
+		ring := geom.Ring{}
+		for o := 1; o+16 <= len(b) && len(ring) < 64; o += 16 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(b[o:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(b[o+8:]))
+			if math.IsNaN(x) || math.IsNaN(y) {
+				t.Skip()
+			}
+			// Clamp into a band around the grid so the classifier sees
+			// inside/outside/straddling geometry rather than astronomic
+			// coordinates that trivially prune at the root.
+			ring = append(ring, geom.Point{
+				X: math.Max(-2000, math.Min(3000, x)),
+				Y: math.Max(-2000, math.Min(3000, y)),
+			})
+		}
+		if len(ring) < 3 {
+			t.Skip()
+		}
+		pg := geom.NewPolygon(ring)
+		ix := indexes[lvl]
+		pl, err := ix.Classify(context.Background(), pg)
+		if err != nil {
+			t.Fatalf("classify: %v", err)
+		}
+		checkPlanInvariants(t, ix, pg, pl)
+	})
+}

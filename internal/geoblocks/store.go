@@ -1,0 +1,140 @@
+package geoblocks
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+)
+
+// Store caches one Index per point set, keyed by PointSet.Stamp(), with
+// whole-store invalidation slaved to a generation counter exactly like
+// qcache and the span cache: the framework stamps it with
+// Framework.Version() before every query, so any catalog (re)load drops every
+// hierarchy. Concurrent first queries for the same point set coalesce on a
+// single build; a build aborted by its requester's context is not cached,
+// and surviving waiters retry.
+type Store struct {
+	maxLevel int
+
+	mu      sync.Mutex
+	gen     uint64
+	entries map[uint64]*storeEntry
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type storeEntry struct {
+	done chan struct{}
+	idx  *Index
+	err  error
+}
+
+// NewStore returns an empty store building indexes at the given finest
+// level (<=0 uses DefaultMaxLevel).
+func NewStore(maxLevel int) *Store {
+	if maxLevel <= 0 {
+		maxLevel = DefaultMaxLevel
+	}
+	if maxLevel > MaxMaxLevel {
+		maxLevel = MaxMaxLevel
+	}
+	return &Store{maxLevel: maxLevel, entries: make(map[uint64]*storeEntry)}
+}
+
+// MaxLevel returns the finest level of built hierarchies.
+func (s *Store) MaxLevel() int { return s.maxLevel }
+
+// SetGeneration invalidates every cached hierarchy when gen differs from
+// the current generation. The no-change path is one mutex round trip.
+func (s *Store) SetGeneration(gen uint64) {
+	s.mu.Lock()
+	if gen != s.gen {
+		s.gen = gen
+		s.entries = make(map[uint64]*storeEntry)
+		s.invalidations.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the hierarchy for ps, building it under ctx on first use.
+// Concurrent callers for the same point set share one build; if the
+// builder's context dies mid-build the failure is not cached and a
+// surviving waiter takes over the build.
+func (s *Store) Get(ctx context.Context, ps *data.PointSet) (*Index, error) {
+	key := ps.Stamp()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		e, ok := s.entries[key]
+		if !ok {
+			e = &storeEntry{done: make(chan struct{})}
+			s.entries[key] = e
+			gen := s.gen
+			s.mu.Unlock()
+			s.misses.Add(1)
+			e.idx, e.err = BuildContext(ctx, ps, s.maxLevel)
+			close(e.done)
+			if e.err != nil {
+				// Never cache a failed build: remove the entry unless the
+				// generation already swept it (or replaced it).
+				s.mu.Lock()
+				if cur, live := s.entries[key]; live && cur == e && s.gen == gen {
+					delete(s.entries, key)
+				}
+				s.mu.Unlock()
+				return nil, e.err
+			}
+			return e.idx, nil
+		}
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				s.hits.Add(1)
+				return e.idx, nil
+			}
+			// The builder's context died; loop and (re)build under ours.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of store behavior.
+type Stats struct {
+	Entries       int    `json:"entries"`
+	Bytes         int    `json:"bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	MaxLevel      int    `json:"maxLevel"`
+}
+
+// Stats returns a snapshot. Bytes only counts completed builds.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Invalidations: s.invalidations.Load(),
+		MaxLevel:      s.maxLevel,
+	}
+	s.mu.Lock()
+	st.Entries = len(s.entries)
+	for _, e := range s.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				st.Bytes += e.idx.Bytes()
+			}
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return st
+}

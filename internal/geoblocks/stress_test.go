@@ -1,0 +1,102 @@
+package geoblocks_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geoblocks"
+	"repro/internal/geom"
+)
+
+// TestConcurrentBuildWhileQuery runs query goroutines against the engine
+// while another goroutine churns the store generation, forcing rebuilds
+// to race live queries. Run under -race this proves the index is
+// immutable after publication and the store swap is safe; the brute-force
+// check proves every answer — whichever index generation served it — is
+// exact.
+func TestConcurrentBuildWhileQuery(t *testing.T) {
+	ps := buildScene(t, 8000, 71)
+	eng := geoblocks.NewEngine(core.NewRasterJoin(core.WithMode(core.Accurate)), 6)
+	store := eng.Store()
+	store.SetGeneration(1)
+
+	// Fixed polygon battery with precomputed exact counts/sums.
+	rng := rand.New(rand.NewSource(72))
+	type qcase struct {
+		pg    geom.Polygon
+		count int64
+		sum   float64
+	}
+	col := ps.Attr("v")
+	var battery []qcase
+	for i := 0; i < 12; i++ {
+		pg := randomPolygon(rng)
+		var qc qcase
+		qc.pg = pg
+		for j := 0; j < ps.Len(); j++ {
+			if pg.Contains(geom.Point{X: ps.X[j], Y: ps.Y[j]}) {
+				qc.count++
+				qc.sum += col[j]
+			}
+		}
+		battery = append(battery, qc)
+	}
+
+	const workers = 8
+	const iters = 60
+	var churn atomic.Bool
+	churn.Store(true)
+
+	// Generation churner: invalidates the store continuously, so queries
+	// constantly alternate between warm hits and cold rebuilds.
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		gen := uint64(2)
+		for churn.Load() {
+			store.SetGeneration(gen)
+			gen++
+		}
+	}()
+
+	errs := make(chan string, workers*iters)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				qc := battery[(w+i)%len(battery)]
+				res, err := eng.JoinContext(ctx, core.Request{
+					Points: ps, Regions: regions(qc.pg), Agg: core.Sum, Attr: "v"})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				st := res.Stats[0]
+				if st.Count != qc.count {
+					errs <- "count mismatch under churn"
+					return
+				}
+				if d := st.Sum - qc.sum; d > sumTol(qc.count, 200) || d < -sumTol(qc.count, 200) {
+					errs <- "sum out of tolerance under churn"
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	churn.Store(false)
+	churnWG.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,128 @@
+package index
+
+// Edge-case coverage for the PR quadtree: degenerate query geometry,
+// queries that miss the grid entirely, and points sitting exactly on the
+// NYC mercator bounds — the coordinates the geoblocks hierarchy and the
+// raster join both clamp, so the candidate index must not lose them.
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/mercator"
+)
+
+func collect(qt *Quadtree, b geom.BBox) map[int32]bool {
+	got := map[int32]bool{}
+	qt.CandidatesInBBox(b, func(id int32) { got[id] = true })
+	return got
+}
+
+// TestQuadtreeDegenerateQueries: zero-area boxes (a point, a vertical
+// segment, a horizontal segment) are legal queries — candidates must
+// still be a superset of the exact matches.
+func TestQuadtreeDegenerateQueries(t *testing.T) {
+	ps := &data.PointSet{Name: "t",
+		X: []float64{10, 20, 20, 30, 20},
+		Y: []float64{10, 20, 30, 30, 20},
+	}
+	qt := BuildQuadtree(ps, 2)
+
+	cases := []struct {
+		name string
+		box  geom.BBox
+		want []int32 // exact ids inside the box
+	}{
+		{"point-hit", geom.BBox{MinX: 20, MinY: 20, MaxX: 20, MaxY: 20}, []int32{1, 4}},
+		{"point-miss", geom.BBox{MinX: 11, MinY: 11, MaxX: 11, MaxY: 11}, nil},
+		{"vseg", geom.BBox{MinX: 20, MinY: 0, MaxX: 20, MaxY: 100}, []int32{1, 2, 4}},
+		{"hseg", geom.BBox{MinX: 0, MinY: 30, MaxX: 100, MaxY: 30}, []int32{2, 3}},
+	}
+	for _, tc := range cases {
+		got := collect(qt, tc.box)
+		for _, id := range tc.want {
+			if !got[id] {
+				t.Errorf("%s: exact match %d missing from candidates", tc.name, id)
+			}
+		}
+		// Superset is allowed, but everything visited must come from a
+		// leaf overlapping the box — sanity: no id outside the pointset.
+		for id := range got {
+			if id < 0 || int(id) >= ps.Len() {
+				t.Errorf("%s: candidate %d out of range", tc.name, id)
+			}
+		}
+	}
+}
+
+// TestQuadtreeQueryOutsideGrid: boxes strictly outside the indexed bounds
+// (including just past an edge by one ULP-ish offset) yield no candidates,
+// and inverted boxes visit nothing rather than everything.
+func TestQuadtreeQueryOutsideGrid(t *testing.T) {
+	ps := &data.PointSet{Name: "t",
+		X: []float64{0, 500, 1000},
+		Y: []float64{0, 500, 1000},
+	}
+	qt := BuildQuadtree(ps, 1)
+
+	outside := []geom.BBox{
+		{MinX: 1500, MinY: 1500, MaxX: 2000, MaxY: 2000},
+		{MinX: -500, MinY: -500, MaxX: -0.0001, MaxY: -0.0001},
+		{MinX: 1000.0001, MinY: 0, MaxX: 2000, MaxY: 1000},
+		{MinX: 0, MinY: -100, MaxX: 1000, MaxY: -0.0001},
+	}
+	for i, b := range outside {
+		if got := collect(qt, b); len(got) != 0 {
+			t.Errorf("outside box %d returned %d candidates", i, len(got))
+		}
+	}
+}
+
+// TestQuadtreeMercatorBoundsPoints: points exactly on the projected NYC
+// bounds — corners and edge midpoints — are indexed and retrievable both
+// by the full-bounds query and by tight zero-area probes at the boundary.
+func TestQuadtreeMercatorBoundsPoints(t *testing.T) {
+	b := mercator.NYCBounds()
+	xs := []float64{b.MinX, b.MaxX, b.MinX, b.MaxX, (b.MinX + b.MaxX) / 2, b.MinX, b.MaxX, (b.MinX + b.MaxX) / 2}
+	ys := []float64{b.MinY, b.MinY, b.MaxY, b.MaxY, b.MinY, (b.MinY + b.MaxY) / 2, (b.MinY + b.MaxY) / 2, b.MaxY}
+	ps := &data.PointSet{Name: "nyc", X: xs, Y: ys}
+	qt := BuildQuadtree(ps, 2)
+
+	if qt.Size() != len(xs) {
+		t.Fatalf("indexed %d points, want %d", qt.Size(), len(xs))
+	}
+	all := collect(qt, b)
+	for i := range xs {
+		if !all[int32(i)] {
+			t.Errorf("bounds point %d (%g,%g) missing from full-bounds query", i, xs[i], ys[i])
+		}
+	}
+	for i := range xs {
+		probe := geom.BBox{MinX: xs[i], MinY: ys[i], MaxX: xs[i], MaxY: ys[i]}
+		if !collect(qt, probe)[int32(i)] {
+			t.Errorf("bounds point %d not found by zero-area probe at its own location", i)
+		}
+	}
+}
+
+// TestQuadtreeCoincidentDepthBound: thousands of identical points cannot
+// split forever — the depth cap holds and every point stays retrievable.
+func TestQuadtreeCoincidentDepthBound(t *testing.T) {
+	const n = 5000
+	ps := &data.PointSet{Name: "co", X: make([]float64, n), Y: make([]float64, n)}
+	for i := range ps.X {
+		ps.X[i], ps.Y[i] = 123.456, 789.012
+	}
+	qt := BuildQuadtree(ps, 4)
+	if d := qt.Depth(); d > 24 {
+		t.Fatalf("depth %d exceeds the 24-level cap", d)
+	}
+	if qt.Size() != n {
+		t.Fatalf("size %d, want %d", qt.Size(), n)
+	}
+	got := collect(qt, geom.BBox{MinX: 123.456, MinY: 789.012, MaxX: 123.456, MaxY: 789.012})
+	if len(got) != n {
+		t.Fatalf("probe at the stack found %d of %d points", len(got), n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/data"
+	"repro/internal/geoblocks"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,11 @@ type Plan struct {
 type Planner struct {
 	// Cubes are consulted in order; the first that can serve wins.
 	Cubes []*cube.Cube
+	// GeoBlocks, when non-nil, answers unfiltered arbitrary-polygon
+	// aggregation from the pre-aggregated hierarchy (interior cells from
+	// stored aggregates, boundary fringe refined exactly). Consulted
+	// after the cubes and before the raster engine.
+	GeoBlocks *geoblocks.Engine
 	// Raster answers everything the cubes cannot. Required.
 	Raster *core.RasterJoin
 	// Exact, when non-nil, replaces Raster for queries that demand exact
@@ -74,6 +80,10 @@ func (pl *Planner) Plan(q Query, cat Catalog) (*Plan, error) {
 			return &Plan{Query: q, Request: req, Joiner: c,
 				Reason: "canned query served from pre-aggregation"}, nil
 		}
+	}
+	if pl.GeoBlocks != nil && pl.Exact == nil && pl.GeoBlocks.CanServe(req) == nil {
+		return &Plan{Query: q, Request: req, Joiner: pl.GeoBlocks,
+			Reason: "unfiltered polygon aggregation served from geoblocks hierarchy"}, nil
 	}
 	if pl.Raster == nil {
 		return nil, fmt.Errorf("query: no engine can serve %q", q.String())

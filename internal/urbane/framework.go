@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/data"
+	"repro/internal/geoblocks"
 	"repro/internal/query"
 )
 
@@ -89,6 +90,30 @@ func (f *Framework) AddRegionSet(rs *data.RegionSet) error {
 	f.regions[rs.Name] = rs
 	f.version.Add(1)
 	return nil
+}
+
+// EnableGeoBlocks turns on the pre-aggregated spatial hierarchy: the
+// planner routes unfiltered polygon aggregation through a geoblocks engine
+// (interior cells answered from stored aggregates, boundary fringe refined
+// exactly) instead of the full raster join. maxLevel <= 0 uses
+// geoblocks.DefaultMaxLevel. Hierarchies build lazily on first query per
+// data set and are invalidated with the catalog version, like qcache and
+// the span cache. Enabling bumps the version so previously cached
+// responses (which name their algorithm) are dropped.
+func (f *Framework) EnableGeoBlocks(maxLevel int) *geoblocks.Engine {
+	f.mu.Lock()
+	eng := geoblocks.NewEngine(f.planner.Raster, maxLevel)
+	f.planner.GeoBlocks = eng
+	f.mu.Unlock()
+	f.version.Add(1)
+	return eng
+}
+
+// GeoBlocks returns the hierarchy engine, or nil when disabled.
+func (f *Framework) GeoBlocks() *geoblocks.Engine {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.planner.GeoBlocks
 }
 
 // BuildCube materializes a pre-aggregation cube for the named data set and
@@ -164,6 +189,7 @@ func (f *Framework) QueryContext(ctx context.Context, stmt string) (*query.Execu
 	pl := f.planner
 	f.mu.RUnlock()
 	f.syncSpanCache()
+	f.syncGeoBlocks()
 	return query.RunContext(ctx, stmt, pl, f)
 }
 
@@ -181,10 +207,14 @@ func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core
 	pl := f.planner
 	f.mu.RUnlock()
 	f.syncSpanCache()
+	f.syncGeoBlocks()
 	for _, c := range pl.Cubes {
 		if c.CanServe(req) == nil {
 			return core.JoinContext(ctx, c, req)
 		}
+	}
+	if pl.GeoBlocks != nil && pl.Exact == nil && pl.GeoBlocks.CanServe(req) == nil {
+		return pl.GeoBlocks.JoinContext(ctx, req)
 	}
 	return pl.Raster.JoinContext(ctx, req)
 }
@@ -214,4 +244,13 @@ func (f *Framework) rasterJoiner() *core.RasterJoin {
 // atomic load when nothing changed.
 func (f *Framework) syncSpanCache() {
 	f.rasterJoiner().Device().SpanCache().SetGeneration(f.Version())
+}
+
+// syncGeoBlocks slaves the hierarchy store to the catalog version, same
+// contract as syncSpanCache: any (re)registration drops every built
+// hierarchy. No-op while geoblocks is disabled.
+func (f *Framework) syncGeoBlocks() {
+	if g := f.GeoBlocks(); g != nil {
+		g.Store().SetGeneration(f.Version())
+	}
 }

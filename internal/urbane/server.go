@@ -60,6 +60,7 @@ func NewServer(f *Framework, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("/api/regions", s.handleRegions)
 	s.mux.HandleFunc("/api/flows", s.handleFlows)
 	s.mux.HandleFunc("/api/delta", s.handleDelta)
+	s.mux.HandleFunc("/api/polygon", s.handlePolygon)
 	s.mux.HandleFunc("/api/render/choropleth.png", s.handleChoroplethPNG)
 	s.mux.HandleFunc("/api/tile/", s.handleTile)
 	s.mux.HandleFunc("/", s.handleIndex)

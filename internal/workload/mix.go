@@ -2,9 +2,12 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"strings"
+
+	"repro/internal/mercator"
 )
 
 // HTTPRequest is one generated API call of a workload mix: everything the
@@ -34,6 +37,10 @@ type MixConfig struct {
 	TimeMin, TimeMax int64
 	// Regions is the max region id usable in explore requests.
 	Regions int
+	// Bounds is the world extent {MinX, MinY, MaxX, MaxY} the polygon
+	// family draws ad-hoc rings inside. Zero (MaxX <= MinX) defaults to
+	// NYC's Web-Mercator bounds, matching ServerMixConfig.
+	Bounds [4]float64
 }
 
 // ServerMixConfig is the mix matching cmd/urbane-server's standard NYC
@@ -52,7 +59,14 @@ func ServerMixConfig() MixConfig {
 		TimeMin:  jan.Start,
 		TimeMax:  jan.End,
 		Regions:  NeighborhoodCount,
+		Bounds:   mercatorNYC(),
 	}
+}
+
+// mercatorNYC returns NYC's extent as the 4-float Bounds form.
+func mercatorNYC() [4]float64 {
+	b := mercator.NYCBounds()
+	return [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY}
 }
 
 // Mix is a deterministic stream of API requests mimicking interactive
@@ -80,6 +94,9 @@ func NewMix(cfg MixConfig, seed int64) *Mix {
 	}
 	if cfg.Regions < 4 {
 		cfg.Regions = 4
+	}
+	if cfg.Bounds[2] <= cfg.Bounds[0] || cfg.Bounds[3] <= cfg.Bounds[1] {
+		cfg.Bounds = mercatorNYC()
 	}
 	return &Mix{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
@@ -136,18 +153,20 @@ func (m *Mix) Next() HTTPRequest {
 	// Weighted families, mirroring what an interactive session issues:
 	// the map view dominates, sliders re-issue queries, tiles stream in.
 	switch r := m.rng.Float64(); {
-	case r < 0.30:
+	case r < 0.28:
 		return m.mapview()
-	case r < 0.45:
+	case r < 0.42:
 		return m.query()
-	case r < 0.58:
+	case r < 0.54:
 		return m.heatmap()
-	case r < 0.68:
+	case r < 0.63:
 		return m.delta()
-	case r < 0.78:
+	case r < 0.72:
 		return m.explore()
-	case r < 0.88:
+	case r < 0.81:
 		return m.tile()
+	case r < 0.88:
+		return m.polygon()
 	case r < 0.94:
 		return m.choropleth()
 	case r < 0.97:
@@ -199,6 +218,39 @@ func (m *Mix) delta() HTTPRequest {
 		ds, pick(m.rng, m.cfg.Layers), agg, attr,
 		aS, aE, bS, bE, m.filterJSON(ds, 0.3))
 	return HTTPRequest{Method: http.MethodPost, Path: "/api/delta", Body: body, Kind: "delta"}
+}
+
+// polygon draws an ad-hoc user polygon — a jittered star ring inside the
+// configured bounds — and aggregates one data set over it, mimicking the
+// paper's draw-a-region interaction. Rings are always valid (≥10 finite
+// vertices, nonzero area) so a clean server answers 200. Most requests are
+// unfiltered (the geoblocks hierarchy's home turf); a minority carry a
+// filter or time window and take the raster fallback.
+func (m *Mix) polygon() HTTPRequest {
+	ds := pick(m.rng, m.cfg.Datasets)
+	agg, attr := m.agg(ds)
+	b := m.cfg.Bounds
+	w, h := b[2]-b[0], b[3]-b[1]
+	cx := b[0] + (0.15+0.7*m.rng.Float64())*w
+	cy := b[1] + (0.15+0.7*m.rng.Float64())*h
+	outer := (0.02 + 0.18*m.rng.Float64()) * math.Min(w, h)
+	inner := outer * (0.35 + 0.4*m.rng.Float64())
+	n := 5 + m.rng.Intn(4) // 10..16 vertices
+	var sb strings.Builder
+	for i := 0; i < 2*n; i++ {
+		theta := math.Pi * float64(i) / float64(n)
+		rad := outer
+		if i%2 == 1 {
+			rad = inner
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "[%g,%g]", cx+rad*math.Cos(theta), cy+rad*math.Sin(theta))
+	}
+	body := fmt.Sprintf(`{"dataset":%q,"ring":[%s],"agg":%q,"attr":%q%s%s}`,
+		ds, sb.String(), agg, attr, m.filterJSON(ds, 0.2), m.timeJSON(0.2))
+	return HTTPRequest{Method: http.MethodPost, Path: "/api/polygon", Body: body, Kind: "polygon"}
 }
 
 func (m *Mix) explore() HTTPRequest {
