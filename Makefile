@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke verify
+.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke segment-smoke verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test ./internal/qcache -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/urbane -run='^$$' -fuzz='^FuzzAdmitEnvelope$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/geoblocks -run='^$$' -fuzz='^FuzzClassify$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/segment -run='^$$' -fuzz='^FuzzSegmentRoundTrip$$' -fuzztime=$(FUZZTIME)
 
 # Parallel point pass and span cache suite under the race detector: the
 # bit-identical property tests (parallel == sequential at every worker
@@ -82,5 +83,15 @@ geoblocks-smoke:
 	$(GO) test -race -count=1 \
 		-run '^(TestGeoBlocksSmoke|TestConcurrentBuildWhileQuery)$$' \
 		./internal/geoblocks
+
+# Columnar segment gate under the race detector: the segment format unit
+# suite, the randomized segment-vs-RAM bit-identical equivalence suite
+# (all six joiners, out-of-core cache budgets, prune counters,
+# cancellation hygiene), and the segment-backed chaos soak with its
+# byte-identical replay against an in-RAM server.
+segment-smoke:
+	$(GO) test -race -count=1 ./internal/segment
+	$(GO) test -race -count=1 -run '^TestSegment' ./internal/core
+	$(GO) test -race -count=1 -run '^TestChaosSoak$$' ./internal/chaos
 
 verify: build vet lint test

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/index"
+	"repro/internal/segment"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -815,6 +817,131 @@ func runE19(scale float64) {
 	must(err)
 	must(os.WriteFile("BENCH_geoblocks.json", append(out, '\n'), 0o644))
 	fmt.Printf("\nwrote BENCH_geoblocks.json\n")
+}
+
+// ---------------------------------------------------------------- E20
+
+// segmentsJSON is the machine-readable mirror of E20, written to
+// BENCH_segments.json.
+type segmentsJSON struct {
+	Cores     int               `json:"cores"`
+	Points    int               `json:"points"`
+	Blocks    int               `json:"blocks"`
+	BlockSize int               `json:"block_size"`
+	FileBytes int64             `json:"file_bytes"`
+	RawBytes  int64             `json:"raw_bytes"`
+	Rows      []segmentsRowJSON `json:"selectivity_sweep"`
+}
+
+type segmentsRowJSON struct {
+	Selectivity   float64 `json:"selectivity"`
+	Count         int64   `json:"count"`
+	PruneNs       int64   `json:"prune_ns_per_op"`
+	NoPruneNs     int64   `json:"noprune_ns_per_op"`
+	InRAMNs       int64   `json:"inram_ns_per_op"`
+	BlocksScanned int64   `json:"blocks_scanned_per_op"`
+	BlocksPruned  int64   `json:"blocks_pruned_per_op"`
+	Speedup       float64 `json:"speedup_vs_noprune"`
+}
+
+// runE20 sweeps filter selectivity over the columnar segment store: the
+// same COUNT-by-neighborhood join answered from a segment file with
+// zone-map block pruning on (default), with pruning disabled (every block
+// decoded), and from the in-RAM point set. The filter lands on an
+// ingest-ordered attribute (a monotone trip odometer — the common shape of
+// ids, sequence numbers, and secondary timestamps in append-ordered data),
+// so a predicate keeping fraction s of the points lets the per-block
+// attribute zones eliminate ~(1-s) of the blocks before decoding; the
+// speedup column is the decode work the zone maps save. Time filters do
+// not exercise this path — on time-sorted segments they narrow the scan
+// range by binary search before pruning is even consulted. Counts are
+// asserted identical across all three paths before any timing is
+// reported.
+func runE20(scale float64) {
+	n := scaled(2_000_000, scale, 200_000)
+	scene := workload.NYC(n, 2009)
+	ps := scene.Taxi
+	regions := scene.Neighborhoods
+
+	// The swept attribute: monotone in ingest order, 0..100.
+	odo := make([]float64, ps.Len())
+	for i := range odo {
+		odo[i] = 100 * float64(i) / float64(ps.Len())
+	}
+	ps.Attrs = append(ps.Attrs, data.Column{Name: "odometer", Values: odo})
+
+	dir, err := os.MkdirTemp("", "urbane-e20-")
+	must(err)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "taxi.useg")
+	file, err := os.Create(path)
+	must(err)
+	must(segment.Write(file, ps))
+	must(file.Close())
+	st, err := segment.Open(path)
+	must(err)
+	defer st.Close()
+	info, err := os.Stat(path)
+	must(err)
+	rawBytes := int64(ps.Len()) * int64(8+8+8+8*len(ps.Attrs))
+	fmt.Printf("workload: %d points, %d neighborhoods; segment: %d blocks x %d, %.1f MiB on disk (%.1f MiB raw)\n",
+		n, regions.Len(), st.NumBlocks(), st.BlockSize(),
+		float64(info.Size())/(1<<20), float64(rawBytes)/(1<<20))
+
+	prune := core.NewRasterJoin(core.WithResolution(1024))
+	noprune := core.NewRasterJoin(core.WithResolution(1024), core.WithBlockPrune(false))
+
+	// Warm pools, the span cache, and the decoded-block cache.
+	warm := core.Request{Source: st, Regions: regions, Agg: core.Count}
+	_, err = prune.Join(warm)
+	must(err)
+	_, err = noprune.Join(warm)
+	must(err)
+
+	rep := segmentsJSON{Cores: runtime.NumCPU(), Points: n,
+		Blocks: st.NumBlocks(), BlockSize: st.BlockSize(),
+		FileBytes: info.Size(), RawBytes: rawBytes}
+	t := newTable("selectivity", "count", "blocks scanned", "blocks pruned",
+		"segment pruned", "segment full-scan", "in-RAM", "speedup vs full-scan")
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
+		width := 100 * sel
+		lo := (100 - width) / 2 // centered, so both file ends prune
+		filters := []core.Filter{{Attr: "odometer", Min: lo, Max: lo + width}}
+		segReq := core.Request{Source: st, Regions: regions, Agg: core.Count, Filters: filters}
+		ramReq := core.Request{Points: ps, Regions: regions, Agg: core.Count, Filters: filters}
+
+		// One bracketed join for the per-query pruning counters, then the
+		// timed repetitions.
+		s0, p0 := core.ScanStats()
+		pres, err := prune.Join(segReq)
+		must(err)
+		s1, p1 := core.ScanStats()
+		scanned, pruned := s1-s0, p1-p0
+
+		pruneLat := timeMedian(5, func() { _, err := prune.Join(segReq); must(err) })
+		var nres, rres *core.Result
+		nopruneLat := timeMedian(5, func() { nres, err = noprune.Join(segReq); must(err) })
+		ramLat := timeMedian(5, func() { rres, err = prune.Join(ramReq); must(err) })
+
+		if pres.TotalCount() != nres.TotalCount() || pres.TotalCount() != rres.TotalCount() {
+			panic(fmt.Sprintf("E20 sel=%g: counts diverge: pruned %d, full-scan %d, in-RAM %d",
+				sel, pres.TotalCount(), nres.TotalCount(), rres.TotalCount()))
+		}
+		speedup := float64(nopruneLat) / float64(pruneLat)
+		t.row(sel, pres.TotalCount(), scanned, pruned, pruneLat, nopruneLat, ramLat, speedup)
+		rep.Rows = append(rep.Rows, segmentsRowJSON{
+			Selectivity: sel, Count: pres.TotalCount(),
+			PruneNs: pruneLat.Nanoseconds(), NoPruneNs: nopruneLat.Nanoseconds(),
+			InRAMNs: ramLat.Nanoseconds(), BlocksScanned: scanned, BlocksPruned: pruned,
+			Speedup: speedup,
+		})
+	}
+	t.flush()
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_segments.json", append(out, '\n'), 0o644))
+	fmt.Printf("\nwrote BENCH_segments.json\n")
 }
 
 func must(err error) {

@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"E16", "Parallel sharded point pass: worker scaling, bit-identical results", runE16},
 	{"E17", "Region span cache: cold vs warm vs disabled on the tract layer", runE17},
 	{"E19", "GeoBlocks hierarchy: arbitrary-polygon selectivity sweep vs raster path", runE19},
+	{"E20", "Columnar segments: filter-selectivity sweep, block pruning vs full scan", runE20},
 }
 
 func main() {

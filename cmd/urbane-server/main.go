@@ -46,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -55,6 +56,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geoblocks"
 	"repro/internal/gpu"
+	"repro/internal/segment"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -92,6 +94,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the -faults schedule; same seed = same schedule")
 	geoBlocks := fs.Bool("geoblocks", false, "enable the pre-aggregated spatial hierarchy: unfiltered polygon aggregation folds stored per-cell aggregates and refines only the boundary fringe")
 	geoBlocksMaxLevel := fs.Int("geoblocks-maxlevel", geoblocks.DefaultMaxLevel, "finest geoblocks pyramid level (2^L cells per side); higher = thinner fringes, more memory")
+	segments := fs.Bool("segments", false, "materialize every data set into a columnar segment file and execute ad-hoc queries block-at-a-time with zone-map pruning (out-of-core under -segment-cache-bytes)")
+	segCacheBytes := fs.Int64("segment-cache-bytes", segment.DefaultCacheBytes, "decoded-block cache budget per segment store in bytes; datasets larger than this stream from disk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +134,44 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 		f.EnableGeoBlocks(*geoBlocksMaxLevel)
 		log.Printf("geoblocks hierarchy enabled (maxlevel %d); indexes build lazily on first query per data set",
 			*geoBlocksMaxLevel)
+	}
+
+	if *segments {
+		dir, err := os.MkdirTemp("", "urbane-segments-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		start = time.Now()
+		var segBytes int64
+		for _, ps := range []*data.PointSet{scene.Taxi, aux[0], aux[1]} {
+			path := filepath.Join(dir, ps.Name+".useg")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := segment.Write(file, ps); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			st, err := segment.Open(path, segment.WithCacheBytes(*segCacheBytes))
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			if err := f.AttachSegments(ps.Name, st); err != nil {
+				return err
+			}
+			if info, err := os.Stat(path); err == nil {
+				segBytes += info.Size()
+			}
+		}
+		log.Printf("segment-backed execution enabled: %d sets, %.1f MiB on disk, %.1f MiB block cache each, built in %v",
+			3, float64(segBytes)/(1<<20), float64(*segCacheBytes)/(1<<20),
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	if *buildCube {

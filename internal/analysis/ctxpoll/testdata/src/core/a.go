@@ -53,6 +53,19 @@ func suppressedLoop(ctx context.Context, c *canvas, bins []int) {
 	_ = ctx
 }
 
+// scanBlocksNoPoll models the segment scan loop with its per-block poll
+// removed: zone-pruned block iteration drawing each surviving block, with
+// an unbounded block count and no ctx check inside the loop.
+func scanBlocksNoPoll(ctx context.Context, c *canvas, pruned []bool) error {
+	for b := range pruned { // want "loop performs draw work but neither polls ctx.Err"
+		if pruned[b] {
+			continue
+		}
+		c.DrawPoints(b)
+	}
+	return ctx.Err()
+}
+
 func rasterizeCell(c *canvas, cell int) {}
 
 // refineFringeNoPoll models the geoblocks fringe-refinement loop with its

@@ -96,6 +96,21 @@ func suppressedLeak(d *Device) *Texture {
 
 var keep []float64
 
+// leakBlockDecodeAbort models the segment read path: a scratch texture
+// held across per-block decodes, leaked when a corrupt block's error
+// return skips the release.
+func leakBlockDecodeAbort(d *Device, blocks [][]byte) error {
+	tex := d.AcquireTexture(32, 32) // want "texture acquired here is not released on every path"
+	for _, b := range blocks {
+		if len(b) < 5 {
+			return errors.New("truncated block") // leak: decode abort skips the release
+		}
+		tex.Data = append(tex.Data, float64(b[0]))
+	}
+	d.ReleaseTexture(tex)
+	return nil
+}
+
 // leakRefinementAbort models the geoblocks-style fringe-refinement loop:
 // a scratch canvas held across per-cell work, leaked when the
 // stride-amortized cancellation poll aborts mid-loop.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/gpu"
+	"repro/internal/segment"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -22,8 +25,12 @@ import (
 // buildFramework registers a small two-dataset, two-layer catalog over a
 // 1000x1000 world. Construction is fully seeded, so two calls produce
 // frameworks whose query results are byte-identical — the property the
-// post-chaos replay comparison rests on.
-func buildFramework(t testing.TB, dev *gpu.Device) *urbane.Framework {
+// post-chaos replay comparison rests on. With segments set, every data set
+// is additionally materialized into a columnar segment file and attached
+// with a one-block cache budget, so ad-hoc execution runs the out-of-core
+// block-pruned path; replay against a non-segment framework then asserts
+// the two execution paths answer byte-identically.
+func buildFramework(t testing.TB, dev *gpu.Device, segments bool) *urbane.Framework {
 	t.Helper()
 	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
 	rng := rand.New(rand.NewSource(77))
@@ -43,9 +50,34 @@ func buildFramework(t testing.TB, dev *gpu.Device) *urbane.Framework {
 	}
 	f := urbane.New(core.NewRasterJoin(core.WithDevice(dev),
 		core.WithMode(core.Accurate), core.WithResolution(128)))
-	for _, ps := range []*data.PointSet{mk("taxi", 1200), mk("311", 600)} {
+	sets := []*data.PointSet{mk("taxi", 1200), mk("311", 600)}
+	for _, ps := range sets {
 		if err := f.AddPointSet(ps); err != nil {
 			t.Fatal(err)
+		}
+	}
+	if segments {
+		dir := t.TempDir()
+		for _, ps := range sets {
+			path := filepath.Join(dir, ps.Name+".useg")
+			file, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := segment.Write(file, ps, segment.WithBlockSize(256)); err != nil {
+				t.Fatal(err)
+			}
+			if err := file.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := segment.Open(path, segment.WithCacheBytes(16<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			if err := f.AttachSegments(ps.Name, st); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	nbhd := data.VoronoiRegions("nbhd", bounds, 12, 9, data.VoronoiOptions{JitterFrac: 0.06})
@@ -98,7 +130,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	dev := gpu.New()
-	f := buildFramework(t, dev)
+	f := buildFramework(t, dev, true)
 	reg := fault.New(42)
 	reg.Set("core.pointpass", fault.Rule{Prob: 0.05, Kind: fault.Latency, Delay: 2 * time.Millisecond})
 	reg.Set("qcache.compute", fault.Rule{Prob: 0.05, Kind: fault.Error})
@@ -152,7 +184,7 @@ func TestChaosSoak(t *testing.T) {
 	// soaked server must answer a fresh deterministic mix byte-for-byte
 	// like a pristine server over the same catalog.
 	reg.Clear()
-	pristine := urbane.NewServer(buildFramework(t, gpu.New()), urbane.WithCache(8<<20))
+	pristine := urbane.NewServer(buildFramework(t, gpu.New(), false), urbane.WithCache(8<<20))
 	const replayN = 80
 	got := chaos.Replay(srv, mixConfig(), 4242, replayN)
 	want := chaos.Replay(pristine, mixConfig(), 4242, replayN)
@@ -177,7 +209,7 @@ func TestChaosSoak(t *testing.T) {
 // so any non-200 seen under chaos is attributable to the chaos, not to the
 // mix emitting garbage.
 func TestSoakCleanServer(t *testing.T) {
-	f := buildFramework(t, gpu.New())
+	f := buildFramework(t, gpu.New(), true)
 	srv := urbane.NewServer(f, urbane.WithCache(8<<20))
 	rep := chaos.Soak(context.Background(), srv, chaos.Config{
 		VUs: 4, Requests: 10, Seed: 11, Mix: mixConfig(),
@@ -194,7 +226,7 @@ func TestSoakCleanServer(t *testing.T) {
 // byte-identical results — the precondition for the cross-server
 // comparison in TestChaosSoak to mean anything.
 func TestReplayDeterministic(t *testing.T) {
-	srv := urbane.NewServer(buildFramework(t, gpu.New()), urbane.WithCache(8<<20))
+	srv := urbane.NewServer(buildFramework(t, gpu.New(), true), urbane.WithCache(8<<20))
 	a := chaos.Replay(srv, mixConfig(), 5, 40)
 	b := chaos.Replay(srv, mixConfig(), 5, 40)
 	for i := range a {

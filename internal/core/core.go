@@ -92,40 +92,59 @@ type TimeFilter struct {
 // Request is a spatial aggregation query: aggregate Agg(Attr) of the points
 // joined into each region, under the given filters.
 type Request struct {
-	Points  *data.PointSet
+	Points *data.PointSet
+	// Source, when non-nil, is the block-iterator read path the raster
+	// joiners scan instead of Points — an on-disk columnar segment store,
+	// or any other data.PointSource. Points may still be set alongside it
+	// (the planner keeps both so in-RAM joiners and the cube route
+	// unchanged); joiners that have been refactored onto blocks prefer
+	// Source.
+	Source  data.PointSource
 	Regions *data.RegionSet
 	Agg     Agg
 	// Attr names the aggregated attribute for Sum/Avg.
 	Attr    string
 	Filters []Filter
-	// Time, when non-nil, restricts points to the window. If the point set
-	// is time-sorted this is evaluated by binary search instead of a
+	// Time, when non-nil, restricts points to the window. If the point
+	// data is time-sorted this is evaluated by binary search instead of a
 	// predicate.
 	Time *TimeFilter
 }
 
+// Data returns the request's point data as a PointSource: Source when set,
+// the in-RAM point set's block view otherwise.
+func (r *Request) Data() data.PointSource {
+	if r.Source != nil {
+		return r.Source
+	}
+	return r.Points.Source()
+}
+
 // Validate reports whether the request is well-formed against its data.
 func (r *Request) Validate() error {
-	if r.Points == nil || r.Regions == nil {
+	if (r.Points == nil && r.Source == nil) || r.Regions == nil {
 		return errors.New("core: request needs points and regions")
 	}
-	if err := r.Points.Validate(); err != nil {
-		return err
+	if r.Source == nil {
+		if err := r.Points.Validate(); err != nil {
+			return err
+		}
 	}
+	src := r.Data()
 	if r.Agg.NeedsAttr() {
-		if r.Points.Attr(r.Attr) == nil {
+		if data.AttrIndex(src, r.Attr) < 0 {
 			return fmt.Errorf("core: %v needs attribute %q, not in point set %q",
-				r.Agg, r.Attr, r.Points.Name)
+				r.Agg, r.Attr, src.Name())
 		}
 	}
 	for _, f := range r.Filters {
-		if r.Points.Attr(f.Attr) == nil {
+		if data.AttrIndex(src, f.Attr) < 0 {
 			return fmt.Errorf("core: filter attribute %q not in point set %q",
-				f.Attr, r.Points.Name)
+				f.Attr, src.Name())
 		}
 	}
-	if r.Time != nil && r.Points.T == nil {
-		return fmt.Errorf("core: time filter on point set %q without timestamps", r.Points.Name)
+	if r.Time != nil && !src.HasTime() {
+		return fmt.Errorf("core: time filter on point set %q without timestamps", src.Name())
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/data"
 	"repro/internal/geom"
 	"repro/internal/raster"
 	"repro/internal/trace"
@@ -99,11 +100,12 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	dx := req.Points.Attr(dxAttr)
-	dy := req.Points.Attr(dyAttr)
-	if dx == nil || dy == nil {
+	src := req.Data()
+	dxIdx := data.AttrIndex(src, dxAttr)
+	dyIdx := data.AttrIndex(src, dyAttr)
+	if dxIdx < 0 || dyIdx < 0 {
 		return nil, fmt.Errorf("core: flow needs destination columns %q/%q in point set %q",
-			dxAttr, dyAttr, req.Points.Name)
+			dxAttr, dyAttr, src.Name())
 	}
 	nr := req.Regions.Len()
 	out := &FlowResult{
@@ -112,7 +114,7 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 		Algorithm: fmt.Sprintf("raster-flow-%dpx", r.resolution),
 	}
 	window := req.Regions.Bounds()
-	if window.IsEmpty() || req.Points.Len() == 0 || nr == 0 {
+	if window.IsEmpty() || src.Len() == 0 || nr == 0 {
 		return out, nil
 	}
 	if r.epsilon > 0 {
@@ -127,10 +129,17 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	out.CanvasW, out.CanvasH = c.T.W, c.T.H
 	out.PixelSize = c.T.PixelWidth()
 
-	lo, hi, pred, err := PointPredicate(req)
+	// The flow scan restricts pruning to the coordinate zones: dropping a
+	// block on an attribute or time zone would reclassify its points from
+	// Filtered to Dropped (they would never reach the shader), while
+	// spatially pruned points are canvas-culled and count as Dropped on
+	// both paths.
+	sc, err := r.newScan(req)
 	if err != nil {
 		return nil, err
 	}
+	sc.spatialOnly = true
+	sc.setWorld(c.T.World)
 
 	// ID pass: first-drawn region owns each pixel. In accurate mode a
 	// region's fragments in its own boundary pixels are withheld, and per-
@@ -226,7 +235,7 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 	// per worker, merged in shard order after the barrier. Every cell is an
 	// int64 count, so the merge is exact and the result is identical to the
 	// sequential pass regardless of worker count.
-	ps := req.Points
+	lo, hi := sc.Lo, sc.Hi
 	n := hi - lo
 	workers := r.pointWorkers
 	if workers > 1 && n < 4096 {
@@ -261,42 +270,50 @@ func (r *RasterJoin) FlowJoinContext(ctx context.Context, req Request, dxAttr, d
 		wg.Add(1)
 		go func(lo, hi int, p *flowPartial) {
 			defer wg.Done()
-			batch := r.pointBatch
-			if batch <= 0 {
-				batch = hi - lo
-			}
-			for s := lo; s < hi; s += batch {
-				if ctx.Err() != nil {
-					return
+			// Cancellation surfaces as ctx.Err() after the barrier, so the
+			// per-shard error can be dropped here.
+			_ = sc.piecesRange(ctx, lo, hi, func(blk *data.Block, plo, phi int, needPred bool) error {
+				base := blk.Base
+				dx, dy := blk.Attr[dxIdx], blk.Attr[dyIdx]
+				batch := r.pointBatch
+				if batch <= 0 {
+					batch = phi - plo
 				}
-				e := s + batch
-				if e > hi {
-					e = hi
+				for s := plo; s < phi; s += batch {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					e := s + batch
+					if e > phi {
+						e = phi
+					}
+					bb := s
+					c.DrawPoints(e-s,
+						func(j int) (float64, float64) { jj := bb - base + j; return blk.X[jj], blk.Y[jj] },
+						func(px, py, j int) {
+							p.shaded++
+							i := bb + j
+							if needPred && !sc.pred(blk, i) {
+								p.filtered++
+								return
+							}
+							jj := i - base
+							o := locate(geom.Point{X: blk.X[jj], Y: blk.Y[jj]})
+							if o < 0 {
+								p.dropped++
+								return
+							}
+							d := locate(geom.Point{X: dx[jj], Y: dy[jj]})
+							if d < 0 {
+								p.dropped++
+								return
+							}
+							p.counts[int64(o)*int64(nr)+int64(d)]++
+						})
+					tr.Count("batches", 1)
 				}
-				base := s
-				c.DrawPoints(e-s,
-					func(j int) (float64, float64) { i := base + j; return ps.X[i], ps.Y[i] },
-					func(px, py, j int) {
-						p.shaded++
-						i := base + j
-						if pred != nil && !pred(i) {
-							p.filtered++
-							return
-						}
-						o := locate(geom.Point{X: ps.X[i], Y: ps.Y[i]})
-						if o < 0 {
-							p.dropped++
-							return
-						}
-						d := locate(geom.Point{X: dx[i], Y: dy[i]})
-						if d < 0 {
-							p.dropped++
-							return
-						}
-						p.counts[int64(o)*int64(nr)+int64(d)]++
-					})
-				tr.Count("batches", 1)
-			}
+				return nil
+			})
 		}(s, e, p)
 	}
 	wg.Wait()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/data"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/raster"
@@ -48,37 +49,31 @@ func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	// Per-spec validation and predicate/attr resolution.
-	attrs := make([][]float64, len(specs))
-	preds := make([]func(int) bool, len(specs))
+	src := req.Data()
+	// Per-spec validation and predicate/attr resolution. Each spec's time
+	// restriction folds into its residual predicate (different specs may
+	// carry different windows, so range narrowing happens only globally).
+	attrIdxs := make([]int, len(specs))
+	preds := make([]residualPred, len(specs))
 	for s, spec := range specs {
+		attrIdxs[s] = -1
 		if spec.Agg == Min || spec.Agg == Max {
 			return nil, fmt.Errorf("core: MultiJoin supports COUNT/SUM/AVG, not %v", spec.Agg)
 		}
 		if spec.Agg.NeedsAttr() {
-			attrs[s] = req.Points.Attr(spec.Attr)
-			if attrs[s] == nil {
+			attrIdxs[s] = data.AttrIndex(src, spec.Attr)
+			if attrIdxs[s] < 0 {
 				return nil, fmt.Errorf("core: spec %d: %v needs attribute %q",
 					s, spec.Agg, spec.Attr)
 			}
 		}
-		if spec.Time != nil && req.Points.T == nil {
+		if spec.Time != nil && !src.HasTime() {
 			return nil, fmt.Errorf("core: spec %d: time filter on point set %q without timestamps",
-				s, req.Points.Name)
+				s, src.Name())
 		}
-		sub := Request{Points: req.Points, Regions: req.Regions,
-			Filters: spec.Filters, Time: spec.Time}
-		for _, f := range spec.Filters {
-			if req.Points.Attr(f.Attr) == nil {
-				return nil, fmt.Errorf("core: spec %d: filter attribute %q missing", s, f.Attr)
-			}
-		}
-		// Per-spec predicate evaluated on absolute indices; the time
-		// restriction folds into the predicate (different specs may carry
-		// different windows, so range narrowing happens only globally).
-		_, _, p, err := specPredicate(sub)
+		p, err := newResidualPred(src, spec.Filters, spec.Time)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: spec %d: %w", s, err)
 		}
 		preds[s] = p
 	}
@@ -91,7 +86,7 @@ func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []
 		}
 	}
 	window := req.Regions.Bounds()
-	if window.IsEmpty() || req.Points.Len() == 0 {
+	if window.IsEmpty() || src.Len() == 0 {
 		return results, nil
 	}
 	full := r.fullTransform(window)
@@ -99,7 +94,10 @@ func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []
 		results[s].CanvasW, results[s].CanvasH = full.W, full.H
 		results[s].PixelSize = full.PixelWidth()
 	}
-	lo, hi, globalPred, err := PointPredicate(req)
+	// The global scan prunes on the request-wide filters and time window
+	// only; spec-level constraints stay per-point (a block useless to one
+	// spec may still feed another).
+	sc, err := r.newScan(req)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +109,8 @@ func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []
 		for s := range results {
 			results[s].Tiles++
 		}
-		return r.renderTileMulti(ctx, c, req, results, specs, attrs, preds, lo, hi, globalPred)
+		sc.setWorld(c.T.World)
+		return r.renderTileMulti(ctx, c, req, results, specs, attrIdxs, preds, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -119,39 +118,22 @@ func (r *RasterJoin) MultiJoinContext(ctx context.Context, req Request, specs []
 	return results, nil
 }
 
-// specPredicate builds the per-point predicate for one spec's filters and
-// time window, without range narrowing.
-func specPredicate(req Request) (int, int, func(int) bool, error) {
-	if req.Time != nil {
-		// Force the predicate path: copy the request with an unsorted
-		// marker is unnecessary — PointPredicate narrows only when sorted,
-		// but narrowing returns (lo, hi) which we must not use per spec.
-		// Compose manually instead.
-		t := req.Points.T
-		start, end := req.Time.Start, req.Time.End
-		base := req
-		base.Time = nil
-		_, _, attrPred, err := PointPredicate(base)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		timePred := func(i int) bool { return t[i] >= start && t[i] < end }
-		if attrPred == nil {
-			return 0, 0, timePred, nil
-		}
-		return 0, 0, func(i int) bool { return timePred(i) && attrPred(i) }, nil
-	}
-	return PointPredicate(req)
+// multiObs is one retained boundary observation of the multi join: the
+// point's coordinates plus, per spec, whether its predicate passed and the
+// attribute value. Captured at bin time because the source block may be
+// evicted before the fix-up pass runs.
+type multiObs struct {
+	x, y float64
+	ok   []bool
+	val  []float64
 }
 
 // renderTileMulti is renderTile generalized to several aggregates sharing
 // the point and polygon passes.
 func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Request, results []*Result,
-	specs []AggSpec, attrs [][]float64, preds []func(int) bool,
-	lo, hi int, globalPred func(int) bool) error {
+	specs []AggSpec, attrIdxs []int, preds []residualPred, sc *Scan) error {
 
 	w, h := c.T.W, c.T.H
-	ps := req.Points
 
 	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
 	if err != nil {
@@ -159,7 +141,7 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 	}
 
 	var slotOf []int32
-	var bins [][]int32
+	var bins [][]multiObs
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
@@ -171,7 +153,7 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 		for s, idx := range boundaryList {
 			slotOf[idx] = int32(s)
 		}
-		bins = make([][]int32, len(boundaryList))
+		bins = make([][]multiObs, len(boundaryList))
 	}
 
 	// Point pass: one texture pair per spec, all pooled and released on
@@ -186,33 +168,48 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 	}()
 	for s := range specs {
 		countTex[s] = r.dev.AcquireTexture(w, h)
-		if attrs[s] != nil {
+		if attrIdxs[s] >= 0 {
 			sumTex[s] = r.dev.AcquireTexture(w, h)
 		}
 	}
-	err = r.drawPointsBatchedParallel(ctx, c, lo, hi,
-		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
-		func(px, py, i int) {
-			if globalPred != nil && !globalPred(i) {
-				return
-			}
-			any := false
-			for s := range specs {
-				if preds[s] != nil && !preds[s](i) {
-					continue
+	err = sc.piecesRange(ctx, sc.Lo, sc.Hi, func(blk *data.Block, lo, hi int, needPred bool) error {
+		base := blk.Base
+		return r.drawPointsBatchedParallel(ctx, c, lo, hi,
+			func(i int) (float64, float64) { j := i - base; return blk.X[j], blk.Y[j] },
+			func(px, py, i int) {
+				if needPred && !sc.pred(blk, i) {
+					return
 				}
-				any = true
-				countTex[s].Add(px, py, 1)
-				if sumTex[s] != nil {
-					sumTex[s].Add(px, py, attrs[s][i])
+				j := i - base
+				var mo *multiObs
+				if slotOf != nil && slotOf[py*w+px] >= 0 {
+					mo = &multiObs{x: blk.X[j], y: blk.Y[j],
+						ok: make([]bool, len(specs)), val: make([]float64, len(specs))}
 				}
-			}
-			if any && slotOf != nil {
-				if slot := slotOf[py*w+px]; slot >= 0 {
-					bins[slot] = append(bins[slot], int32(i))
+				any := false
+				for s := range specs {
+					pass := preds[s].empty() || preds[s].eval(blk, i)
+					if mo != nil {
+						mo.ok[s] = pass
+						if pass && attrIdxs[s] >= 0 {
+							mo.val[s] = blk.Attr[attrIdxs[s]][j]
+						}
+					}
+					if !pass {
+						continue
+					}
+					any = true
+					countTex[s].Add(px, py, 1)
+					if sumTex[s] != nil {
+						sumTex[s].Add(px, py, blk.Attr[attrIdxs[s]][j])
+					}
 				}
-			}
-		})
+				if any && mo != nil {
+					slot := slotOf[py*w+px]
+					bins[slot] = append(bins[slot], *mo)
+				}
+			})
+	})
 	if err != nil {
 		return err
 	}
@@ -254,19 +251,18 @@ func (r *RasterJoin) renderTileMulti(ctx context.Context, c *gpu.Canvas, req Req
 		if scratch != nil {
 			for _, idx := range regionPixels[k] {
 				scratch.Unset(int(idx)%w, int(idx)/w)
-				for _, id := range bins[slotOf[idx]] {
-					p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
-					if !poly.Contains(p) {
+				for _, mo := range bins[slotOf[idx]] {
+					if !poly.Contains(geom.Point{X: mo.x, Y: mo.y}) {
 						continue
 					}
 					for s := range specs {
-						if preds[s] != nil && !preds[s](int(id)) {
+						if !mo.ok[s] {
 							continue
 						}
 						cnt[s]++
-						if attrs[s] != nil {
+						if attrIdxs[s] >= 0 {
 							//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
-							sum[s] += attrs[s][id]
+							sum[s] += mo.val[s]
 						}
 					}
 				}

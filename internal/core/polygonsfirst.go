@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/data"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/raster"
@@ -92,10 +93,9 @@ func (s *idState) owners(i int32, fn func(k int32)) {
 // Aggregation per region slot uses shard-local accumulators: the point
 // stream is the only writer, so a single pass owns all slots.
 func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
-	lo, hi int, pred func(int) bool, attr []float64) error {
+	sc *Scan, attrIdx int) error {
 
 	w, h := c.T.W, c.T.H
-	ps := req.Points
 	regions := req.Regions.Regions
 	minMax := req.Agg == Min || req.Agg == Max
 
@@ -169,6 +169,7 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 	// cannot use the pixel-striped DrawPointsParallel merge; it shards the
 	// accumulators themselves instead, with the shard count following the
 	// same -point-workers knob.
+	lo, hi := sc.Lo, sc.Hi
 	workers := r.pointWorkers
 	n := hi - lo
 	if workers > 1 && n < 4096 {
@@ -187,7 +188,13 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 	// Race audit (sharedwrite-clean): every goroutine accumulates into the
 	// `part` slice it receives as an argument; the canvas draw calls only
 	// read shared textures (idTex, slotOf, candidates are immutable once
-	// built). Partials merge after wg.Wait().
+	// built) and the scan, which is frozen before the fan-out. Partials
+	// merge after wg.Wait().
+	//
+	// Shards cut the global [lo, hi) range — not the surviving blocks — so
+	// the partial merge order, and with it the float Sum, is identical at
+	// every worker count and to the in-RAM path; block iteration only clips
+	// within each shard.
 	parts := make([]partial, 0, workers)
 	var wg sync.WaitGroup
 	for s := lo; s < hi; s += shard {
@@ -203,40 +210,48 @@ func (r *RasterJoin) renderTilePolygonsFirst(ctx context.Context, c *gpu.Canvas,
 			// Each shard issues its own (possibly batched) draw calls on
 			// the shared canvas; cancellation surfaces as ctx.Err() after
 			// the barrier, so the per-shard error can be dropped here.
-			_ = r.drawPointsBatched(ctx, c, s, e,
-				func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
-				func(px, py, i int) {
-					if pred != nil && !pred(i) {
-						return
-					}
-					idx := int32(py*w + px)
-					accum := func(k int32) {
-						switch {
-						case minMax:
-							part[k].Observe(attr[i])
-						case attr != nil:
-							part[k].Count++
-							part[k].Sum += attr[i]
-						default:
-							part[k].Count++
-						}
-					}
-					if slotOf != nil {
-						if slot := slotOf[idx]; slot >= 0 {
-							// Boundary pixel: exact tests against crossing
-							// regions; certain owners still apply.
-							pt := geom.Point{X: ps.X[i], Y: ps.Y[i]}
-							for _, k := range candidates[slot] {
-								if regions[k].Poly.Contains(pt) {
-									accum(k)
-								}
-							}
-							idTex.owners(idx, accum)
+			_ = sc.piecesRange(ctx, s, e, func(blk *data.Block, plo, phi int, needPred bool) error {
+				base := blk.Base
+				var attr []float64
+				if attrIdx >= 0 {
+					attr = blk.Attr[attrIdx]
+				}
+				return r.drawPointsBatched(ctx, c, plo, phi,
+					func(i int) (float64, float64) { j := i - base; return blk.X[j], blk.Y[j] },
+					func(px, py, i int) {
+						if needPred && !sc.pred(blk, i) {
 							return
 						}
-					}
-					idTex.owners(idx, accum)
-				})
+						j := i - base
+						idx := int32(py*w + px)
+						accum := func(k int32) {
+							switch {
+							case minMax:
+								part[k].Observe(attr[j])
+							case attr != nil:
+								part[k].Count++
+								part[k].Sum += attr[j]
+							default:
+								part[k].Count++
+							}
+						}
+						if slotOf != nil {
+							if slot := slotOf[idx]; slot >= 0 {
+								// Boundary pixel: exact tests against crossing
+								// regions; certain owners still apply.
+								pt := geom.Point{X: blk.X[j], Y: blk.Y[j]}
+								for _, k := range candidates[slot] {
+									if regions[k].Poly.Contains(pt) {
+										accum(k)
+									}
+								}
+								idTex.owners(idx, accum)
+								return
+							}
+						}
+						idTex.owners(idx, accum)
+					})
+			})
 		}(s, e, p.stats)
 	}
 	wg.Wait()

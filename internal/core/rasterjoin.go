@@ -49,6 +49,7 @@ type RasterJoin struct {
 	workers      int
 	pointWorkers int
 	pointBatch   int
+	blockPrune   bool
 }
 
 // RJOption configures a RasterJoin.
@@ -119,6 +120,12 @@ func WithPointBatch(n int) RJOption {
 		}
 	}
 }
+
+// WithBlockPrune enables (default) or disables zone-map block pruning on
+// the point scan. Disabling it decodes and draws every block — the
+// baseline the pruning benchmarks compare against. Results are identical
+// either way; pruned blocks provably contribute no fragments.
+func WithBlockPrune(on bool) RJOption { return func(r *RasterJoin) { r.blockPrune = on } }
 
 // drawPointsBatched streams point indices [lo, hi) to the canvas in
 // batches of at most pointBatch vertices. pos and shader receive absolute
@@ -239,6 +246,7 @@ func NewRasterJoin(opts ...RJOption) *RasterJoin {
 		resolution:   1024,
 		workers:      runtime.GOMAXPROCS(0),
 		pointWorkers: runtime.GOMAXPROCS(0),
+		blockPrune:   true,
 	}
 	for _, o := range opts {
 		o(r)
@@ -290,7 +298,8 @@ func (r *RasterJoin) JoinContext(ctx context.Context, req Request) (*Result, err
 		Algorithm: r.Name(),
 	}
 	window := req.Regions.Bounds()
-	if window.IsEmpty() || req.Points.Len() == 0 {
+	src := req.Data()
+	if window.IsEmpty() || src.Len() == 0 {
 		return res, nil
 	}
 
@@ -298,13 +307,13 @@ func (r *RasterJoin) JoinContext(ctx context.Context, req Request) (*Result, err
 	res.CanvasW, res.CanvasH = full.W, full.H
 	res.PixelSize = full.PixelWidth()
 
-	lo, hi, pred, err := PointPredicate(req)
+	sc, err := r.newScan(req)
 	if err != nil {
 		return nil, err
 	}
-	var attr []float64
+	attrIdx := -1
 	if req.Agg.NeedsAttr() {
-		attr = req.Points.Attr(req.Attr)
+		attrIdx = data.AttrIndex(src, req.Attr)
 	}
 
 	tr := trace.FromContext(ctx)
@@ -314,10 +323,13 @@ func (r *RasterJoin) JoinContext(ctx context.Context, req Request) (*Result, err
 		}
 		res.Tiles++
 		tr.Count("tiles", 1)
+		// Tiles render sequentially, so re-aiming the scan's spatial bound
+		// per tile is safe; within a tile the scan is only read.
+		sc.setWorld(c.T.World)
 		if r.strategy == PolygonsFirst {
-			return r.renderTilePolygonsFirst(ctx, c, req, res.Stats, lo, hi, pred, attr)
+			return r.renderTilePolygonsFirst(ctx, c, req, res.Stats, sc, attrIdx)
 		}
-		return r.renderTile(ctx, c, req, res.Stats, lo, hi, pred, attr)
+		return r.renderTile(ctx, c, req, res.Stats, sc, attrIdx)
 	})
 	if err != nil {
 		return nil, err
@@ -351,10 +363,9 @@ func (r *RasterJoin) fullTransform(window geom.BBox) raster.Transform {
 //     pixels are excluded from pass 2 and instead resolved by exact
 //     point-in-polygon tests against the points binned in those pixels.
 func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
-	lo, hi int, pred func(int) bool, attr []float64) error {
+	sc *Scan, attrIdx int) error {
 
 	w, h := c.T.W, c.T.H
-	ps := req.Points
 
 	// Compiled region spans (cache hit or one-time compile). nil when the
 	// span cache is disabled — every draw below then falls back to direct
@@ -368,8 +379,11 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 	// which pixels are boundary pixels for some region. slotOf maps a
 	// boundary pixel's index to a dense bucket slot (-1 elsewhere), so the
 	// hot point loop pays one array lookup instead of a map operation.
+	// Bins hold the observation (coordinates plus aggregated value), not
+	// the point index: with an out-of-core source the block a point came
+	// from may be evicted before the fix-up pass runs.
 	var slotOf []int32
-	var bins [][]int32
+	var bins [][]obs
 	var regionPixels [][]int32
 	if r.mode == Accurate {
 		var boundaryList []int32
@@ -381,7 +395,7 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 		for s, idx := range boundaryList {
 			slotOf[idx] = int32(s)
 		}
-		bins = make([][]int32, len(boundaryList))
+		bins = make([][]obs, len(boundaryList))
 	}
 
 	// Pass 1: point textures. COUNT/SUM/AVG blend additively; MIN/MAX use
@@ -404,27 +418,39 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 		defer r.dev.ReleaseTexture(maxTex)
 		maxTex.Fill(math.Inf(-1))
 	}
-	err = r.drawPointsBatchedParallel(ctx, c, lo, hi,
-		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
-		func(px, py, i int) {
-			if pred != nil && !pred(i) {
-				return // fragment discarded by the filter condition
-			}
-			countTex.Add(px, py, 1)
-			switch {
-			case sumTex != nil:
-				sumTex.Add(px, py, attr[i])
-			case minTex != nil:
-				minTex.TakeMin(px, py, attr[i])
-			case maxTex != nil:
-				maxTex.TakeMax(px, py, attr[i])
-			}
-			if slotOf != nil {
-				if s := slotOf[py*w+px]; s >= 0 {
-					bins[s] = append(bins[s], int32(i))
+	err = sc.piecesRange(ctx, sc.Lo, sc.Hi, func(blk *data.Block, lo, hi int, needPred bool) error {
+		base := blk.Base
+		var attr []float64
+		if attrIdx >= 0 {
+			attr = blk.Attr[attrIdx]
+		}
+		return r.drawPointsBatchedParallel(ctx, c, lo, hi,
+			func(i int) (float64, float64) { j := i - base; return blk.X[j], blk.Y[j] },
+			func(px, py, i int) {
+				if needPred && !sc.pred(blk, i) {
+					return // fragment discarded by the filter condition
 				}
-			}
-		})
+				j := i - base
+				countTex.Add(px, py, 1)
+				var v float64
+				if attr != nil {
+					v = attr[j]
+				}
+				switch {
+				case sumTex != nil:
+					sumTex.Add(px, py, v)
+				case minTex != nil:
+					minTex.TakeMin(px, py, v)
+				case maxTex != nil:
+					maxTex.TakeMax(px, py, v)
+				}
+				if slotOf != nil {
+					if s := slotOf[py*w+px]; s >= 0 {
+						bins[s] = append(bins[s], obs{x: blk.X[j], y: blk.Y[j], v: v})
+					}
+				}
+			})
+	})
 	if err != nil {
 		return err
 	}
@@ -493,18 +519,17 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 					for _, idx := range regionPixels[k] {
 						px, py := int(idx)%w, int(idx)/w
 						scratch.Unset(px, py)
-						for _, id := range bins[slotOf[idx]] {
-							p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
-							if !poly.Contains(p) {
+						for _, o := range bins[slotOf[idx]] {
+							if !poly.Contains(geom.Point{X: o.x, Y: o.y}) {
 								continue
 							}
 							switch {
 							case minTex != nil || maxTex != nil:
-								local.Observe(attr[id])
-							case attr != nil:
+								local.Observe(o.v)
+							case attrIdx >= 0:
 								local.Count++
 								//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
-								local.Sum += attr[id]
+								local.Sum += o.v
 							default:
 								local.Count++
 							}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// Package-level pruning counters, aggregated across every scan in the
+// process for /api/stats. Per-request numbers ride on the request trace
+// ("segment.blocks_scanned" / "segment.blocks_pruned").
+var (
+	scanBlocksScanned atomic.Int64
+	scanBlocksPruned  atomic.Int64
+)
+
+// ScanStats returns the process-wide block-scan counters: blocks decoded
+// and drawn vs. blocks eliminated by zone-map pruning.
+func ScanStats() (scanned, pruned int64) {
+	return scanBlocksScanned.Load(), scanBlocksPruned.Load()
+}
+
+// attrFilter is one compiled attribute filter: column position plus the
+// half-open value interval.
+type attrFilter struct {
+	idx      int
+	min, max float64
+}
+
+// residualPred is the per-point test that remains after block pruning: the
+// time window (when the source is not time-sorted) and the attribute
+// filters, evaluated against a decoded block by absolute point index.
+type residualPred struct {
+	hasTime      bool
+	tStart, tEnd int64
+	filters      []attrFilter
+}
+
+// newResidualPred compiles filters (and, when tf is non-nil, the time
+// window) against the source's column order.
+func newResidualPred(src data.PointSource, filters []Filter, tf *TimeFilter) (residualPred, error) {
+	var p residualPred
+	if tf != nil {
+		p.hasTime = true
+		p.tStart, p.tEnd = tf.Start, tf.End
+	}
+	for _, f := range filters {
+		idx := data.AttrIndex(src, f.Attr)
+		if idx < 0 {
+			return p, fmt.Errorf("core: filter attribute %q missing from %q", f.Attr, src.Name())
+		}
+		p.filters = append(p.filters, attrFilter{idx: idx, min: f.Min, max: f.Max})
+	}
+	return p, nil
+}
+
+// empty reports whether the predicate passes every point trivially.
+func (p *residualPred) empty() bool { return !p.hasTime && len(p.filters) == 0 }
+
+// eval tests absolute point index i of blk.
+func (p *residualPred) eval(blk *data.Block, i int) bool {
+	j := i - blk.Base
+	if p.hasTime {
+		if t := blk.T[j]; t < p.tStart || t >= p.tEnd {
+			return false
+		}
+	}
+	for _, f := range p.filters {
+		if v := blk.Attr[f.idx][j]; !(v >= f.min && v < f.max) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan is a compiled point scan: the index range to cover (narrowed by
+// binary search when the source is time-sorted), the residual per-point
+// predicate, and the zone-map bounds that let piecesRange skip whole
+// blocks. One Scan serves all tiles of a join; setWorld re-aims the
+// spatial bound per tile. piecesRange is safe for concurrent callers once
+// the scan is configured.
+type Scan struct {
+	Src    data.PointSource
+	Lo, Hi int
+
+	res      residualPred
+	world    geom.BBox
+	worldSet bool
+	prune    bool
+	// spatialOnly restricts pruning to the coordinate zones. The flow join
+	// needs it: eliminating a block on an attribute or time zone would turn
+	// its points from Filtered into Dropped, changing the flow accounting,
+	// whereas spatially pruned points are canvas-culled (never shaded) and
+	// land in Dropped either way.
+	spatialOnly bool
+}
+
+// newScan compiles the request into a Scan against req.Data(). The time
+// filter narrows [Lo, Hi) by binary search on a time-sorted source and
+// joins the residual predicate otherwise.
+func (r *RasterJoin) newScan(req Request) (*Scan, error) {
+	src := req.Data()
+	sc := &Scan{Src: src, Lo: 0, Hi: src.Len(), prune: r.blockPrune}
+	tf := req.Time
+	if tf != nil && src.TimeSorted() {
+		var err error
+		sc.Lo, sc.Hi, err = sourceTimeWindow(src, tf.Start, tf.End)
+		if err != nil {
+			return nil, err
+		}
+		tf = nil
+	}
+	var err error
+	sc.res, err = newResidualPred(src, req.Filters, tf)
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// setWorld bounds the scan spatially: blocks whose coordinate zones are
+// disjoint from the canvas window are pruned. The test keeps blocks that
+// touch the window edge — raster.Transform.ToPixel is inclusive at the max
+// edge — and a block of all-NaN coordinates (zone Min=+Inf) is pruned,
+// matching the canvas cull of NaN positions.
+func (sc *Scan) setWorld(w geom.BBox) {
+	sc.world = w
+	sc.worldSet = true
+}
+
+// pred evaluates the residual predicate for absolute point index i of blk.
+func (sc *Scan) pred(blk *data.Block, i int) bool { return sc.res.eval(blk, i) }
+
+// survives tests a block's zone map. ok=false means no point in the block
+// can contribute (the block is skipped without decoding); full=true means
+// every point passes the residual predicate, so the per-point check can be
+// skipped. Both are sound under NaN: zone min/max ignore NaN values, NaN
+// coordinates are canvas-culled, NaN attribute values fail every filter,
+// and full containment requires a NaN-free zone.
+func (sc *Scan) survives(z data.Zone) (ok, full bool) {
+	if !sc.prune {
+		return true, sc.res.empty()
+	}
+	if sc.worldSet {
+		if z.X.Min > sc.world.MaxX || z.X.Max < sc.world.MinX ||
+			z.Y.Min > sc.world.MaxY || z.Y.Max < sc.world.MinY {
+			return false, false
+		}
+	}
+	full = true
+	if sc.res.hasTime {
+		if !sc.spatialOnly && (z.MaxT < sc.res.tStart || z.MinT >= sc.res.tEnd) {
+			return false, false
+		}
+		if !(z.MinT >= sc.res.tStart && z.MaxT < sc.res.tEnd) {
+			full = false
+		}
+	}
+	for _, f := range sc.res.filters {
+		zc := z.Attr[f.idx]
+		if !sc.spatialOnly && (zc.Max < f.min || zc.Min >= f.max) {
+			return false, false
+		}
+		if zc.HasNaN || !(zc.Min >= f.min && zc.Max < f.max) {
+			full = false
+		}
+	}
+	return true, full
+}
+
+// piecesRange streams the surviving blocks overlapping [s, e) ∩ [Lo, Hi)
+// to fn in ascending index order, with the clipped absolute range and
+// whether the residual predicate still needs evaluating. On a Slabber
+// source (in-RAM columns) maximal runs of surviving blocks with equal
+// needPred collapse into one zero-copy piece, so an unpruned in-RAM scan
+// issues exactly the draws the pre-source code did. The context is checked
+// once per block — pruning sweeps over cold zones stay cancelable.
+func (sc *Scan) piecesRange(ctx context.Context, s, e int, fn func(blk *data.Block, lo, hi int, needPred bool) error) error {
+	if s < sc.Lo {
+		s = sc.Lo
+	}
+	if e > sc.Hi {
+		e = sc.Hi
+	}
+	if s >= e {
+		return nil
+	}
+	src := sc.Src
+	slabber, _ := src.(data.Slabber)
+	nb := src.NumBlocks()
+	b0 := sort.Search(nb, func(b int) bool { _, bhi := src.BlockSpan(b); return bhi > s })
+
+	var scanned, pruned int64
+	defer func() {
+		if scanned > 0 {
+			scanBlocksScanned.Add(scanned)
+		}
+		if pruned > 0 {
+			scanBlocksPruned.Add(pruned)
+		}
+		tr := trace.FromContext(ctx)
+		if scanned > 0 {
+			tr.Count("segment.blocks_scanned", scanned)
+		}
+		if pruned > 0 {
+			tr.Count("segment.blocks_pruned", pruned)
+		}
+	}()
+
+	runS, runE := -1, -1
+	runPred := false
+	flush := func() error {
+		if runS < 0 {
+			return nil
+		}
+		blk, ok := slabber.Slab(runS, runE)
+		if !ok {
+			return fmt.Errorf("core: source %q refused slab [%d,%d)", src.Name(), runS, runE)
+		}
+		err := fn(blk, runS, runE, runPred)
+		runS = -1
+		return err
+	}
+	for b := b0; b < nb; b++ {
+		blo, bhi := src.BlockSpan(b)
+		if blo >= e {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cs, ce := blo, bhi
+		if cs < s {
+			cs = s
+		}
+		if ce > e {
+			ce = e
+		}
+		ok, full := sc.survives(src.Zone(b))
+		if !ok {
+			pruned++
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		scanned++
+		needPred := !full
+		if slabber != nil {
+			if runS >= 0 && runE == cs && runPred == needPred {
+				runE = ce
+				continue
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			runS, runE, runPred = cs, ce, needPred
+			continue
+		}
+		blk, err := src.Block(b)
+		if err != nil {
+			return fmt.Errorf("core: decoding block %d of %q: %w", b, src.Name(), err)
+		}
+		if err := fn(blk, cs, ce, needPred); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// sourceTimeWindow returns the index range [lo, hi) of points with
+// timestamps in [start, end) on a time-sorted source. The block to probe
+// is found from the resident zone maps, so at most two blocks are decoded;
+// an in-RAM Slabber source is binary-searched directly with no zone cost.
+func sourceTimeWindow(src data.PointSource, start, end int64) (lo, hi int, err error) {
+	if sl, ok := src.(data.Slabber); ok {
+		if blk, ok := sl.Slab(0, src.Len()); ok && blk.T != nil {
+			t := blk.T
+			lo = sort.Search(len(t), func(i int) bool { return t[i] >= start })
+			hi = sort.Search(len(t), func(i int) bool { return t[i] >= end })
+			return lo, hi, nil
+		}
+	}
+	searchT := func(t int64) (int, error) {
+		nb := src.NumBlocks()
+		// Sorted source: block MinT/MaxT are ordered, so the first block
+		// whose MaxT reaches t holds the boundary.
+		b := sort.Search(nb, func(b int) bool { return src.Zone(b).MaxT >= t })
+		if b == nb {
+			return src.Len(), nil
+		}
+		blk, err := src.Block(b)
+		if err != nil {
+			return 0, fmt.Errorf("core: time window over %q: %w", src.Name(), err)
+		}
+		blo, _ := src.BlockSpan(b)
+		off := sort.Search(len(blk.T), func(j int) bool { return blk.T[j] >= t })
+		return blo + off, nil
+	}
+	if lo, err = searchT(start); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = searchT(end); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

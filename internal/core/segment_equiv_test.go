@@ -1,0 +1,425 @@
+package core_test
+
+// Segment-vs-RAM equivalence: every joiner, executed against a columnar
+// segment store (block-at-a-time, zone-pruned, decoded under a byte-bounded
+// cache), must produce results bit-identical to the in-RAM array path —
+// across modes, strategies, aggregates, filters, worker counts, pruning
+// on/off, and cold/warm caches. These are the acceptance tests of the
+// PointSource refactor: the store changes where bytes live, never what any
+// query answers.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/segment"
+)
+
+// equivScene builds a clustered point set with sorted timestamps, a uniform
+// attribute "v", a time-correlated attribute "hot" (so tight filters on it
+// make whole blocks zone-prunable), destination columns for the flow join,
+// and a Voronoi partition layer.
+func equivScene(np, nr int, seed int64) (*data.PointSet, *data.RegionSet) {
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	rng := rand.New(rand.NewSource(seed))
+	ps := &data.PointSet{Name: "trips",
+		X: make([]float64, np), Y: make([]float64, np), T: make([]int64, np)}
+	v := make([]float64, np)
+	hot := make([]float64, np)
+	dx := make([]float64, np)
+	dy := make([]float64, np)
+	for i := 0; i < np; i++ {
+		if rng.Float64() < 0.5 {
+			ps.X[i] = 300 + rng.NormFloat64()*150
+			ps.Y[i] = 600 + rng.NormFloat64()*150
+		} else {
+			ps.X[i] = rng.Float64() * 1000
+			ps.Y[i] = rng.Float64() * 1000
+		}
+		ps.X[i] = math.Min(999.9, math.Max(0.1, ps.X[i]))
+		ps.Y[i] = math.Min(999.9, math.Max(0.1, ps.Y[i]))
+		ps.T[i] = int64(i * 3)
+		v[i] = 1 + rng.Float64()*9
+		// hot tracks the (sorted) timestamp, so any narrow range selects a
+		// contiguous sliver of blocks and zone maps eliminate the rest.
+		hot[i] = float64(i) + rng.Float64()
+		dx[i] = rng.Float64() * 1000
+		dy[i] = rng.Float64() * 1000
+	}
+	ps.Attrs = []data.Column{
+		{Name: "v", Values: v},
+		{Name: "hot", Values: hot},
+		{Name: data.DropoffXAttr, Values: dx},
+		{Name: data.DropoffYAttr, Values: dy},
+	}
+	rs := data.VoronoiRegions("cells", bounds, nr, seed+1,
+		data.VoronoiOptions{JitterFrac: 0.08})
+	return ps, rs
+}
+
+// equivStore materializes ps into a temporary segment file and opens it.
+func equivStore(t *testing.T, ps *data.PointSet, blockSize int, cacheBytes int64) *segment.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), ps.Name+".useg")
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := segment.Write(file, ps, segment.WithBlockSize(blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := segment.Open(path, segment.WithCacheBytes(cacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// assertStatsBits requires bit-exact equality between two stat slices —
+// Count, and the raw float bits of Sum/Min/Max.
+func assertStatsBits(t *testing.T, got, want []core.RegionStat, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vs %d regions", label, len(got), len(want))
+	}
+	for k := range got {
+		if got[k].Count != want[k].Count {
+			t.Fatalf("%s: region %d count %d, want %d", label, k, got[k].Count, want[k].Count)
+		}
+		for _, f := range [][3]float64{
+			{got[k].Sum, want[k].Sum, 0}, {got[k].Min, want[k].Min, 1}, {got[k].Max, want[k].Max, 2},
+		} {
+			if math.Float64bits(f[0]) != math.Float64bits(f[1]) {
+				t.Fatalf("%s: region %d field %v: %v != %v (bit mismatch)",
+					label, k, f[2], f[0], f[1])
+			}
+		}
+	}
+}
+
+// reqVariants is the aggregate/filter/time matrix every joiner config runs.
+func reqVariants(ps *data.PointSet, rs *data.RegionSet, st *segment.Store) []struct {
+	name     string
+	ram, seg core.Request
+} {
+	mk := func(name string, agg core.Agg, attr string, fs []core.Filter, tf *core.TimeFilter) struct {
+		name     string
+		ram, seg core.Request
+	} {
+		ram := core.Request{Points: ps, Regions: rs, Agg: agg, Attr: attr, Filters: fs, Time: tf}
+		seg := ram
+		seg.Source = st
+		return struct {
+			name     string
+			ram, seg core.Request
+		}{name, ram, seg}
+	}
+	n := float64(ps.Len())
+	return []struct {
+		name     string
+		ram, seg core.Request
+	}{
+		mk("count", core.Count, "", nil, nil),
+		mk("sum", core.Sum, "v", nil, nil),
+		mk("avg", core.Avg, "v", nil, nil),
+		mk("min", core.Min, "v", nil, nil),
+		mk("max", core.Max, "v", nil, nil),
+		mk("count-tight-filter", core.Count, "",
+			[]core.Filter{{Attr: "hot", Min: 0.2 * n, Max: 0.23 * n}}, nil),
+		mk("sum-filter-time", core.Sum, "v",
+			[]core.Filter{{Attr: "v", Min: 2, Max: 8}},
+			&core.TimeFilter{Start: int64(0.3 * n * 3), End: int64(0.6 * n * 3)}),
+		mk("count-time", core.Count, "", nil,
+			&core.TimeFilter{Start: int64(0.8 * n * 3), End: int64(0.85 * n * 3)}),
+	}
+}
+
+// TestSegmentJoinEquivalence sweeps the joiner configuration space: both
+// modes, both strategies, pruning on and off, one and several point
+// workers — segment-backed results must match the in-RAM path bit for bit.
+func TestSegmentJoinEquivalence(t *testing.T) {
+	ps, rs := equivScene(5000, 8, 42)
+	st := equivStore(t, ps, 512, 1<<20)
+	for _, mode := range []core.Mode{core.Approximate, core.Accurate} {
+		for _, strat := range []core.Strategy{core.PointsFirst, core.PolygonsFirst} {
+			for _, prune := range []bool{true, false} {
+				for _, workers := range []int{1, 3} {
+					rj := core.NewRasterJoin(core.WithMode(mode),
+						core.WithResolution(256), core.WithStrategy(strat),
+						core.WithBlockPrune(prune), core.WithPointWorkers(workers))
+					for _, vr := range reqVariants(ps, rs, st) {
+						ram, err := rj.Join(vr.ram)
+						if err != nil {
+							t.Fatalf("%v/%v/prune=%v/w%d/%s ram: %v", mode, strat, prune, workers, vr.name, err)
+						}
+						seg, err := rj.Join(vr.seg)
+						if err != nil {
+							t.Fatalf("%v/%v/prune=%v/w%d/%s seg: %v", mode, strat, prune, workers, vr.name, err)
+						}
+						label := mode.String() + "/" + strat.String() + "/" + vr.name
+						assertStatsBits(t, seg.Stats, ram.Stats, label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentSeriesEquivalence: the time-binned joiner over a segment
+// source matches the in-RAM path bit for bit, per bin and region.
+func TestSegmentSeriesEquivalence(t *testing.T) {
+	ps, rs := equivScene(4000, 6, 77)
+	st := equivStore(t, ps, 512, 1<<20)
+	rj := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256))
+	for _, agg := range []struct {
+		agg  core.Agg
+		attr string
+	}{{core.Count, ""}, {core.Sum, "v"}} {
+		ram, err := rj.SeriesJoin(core.Request{Points: ps, Regions: rs, Agg: agg.agg, Attr: agg.attr,
+			Filters: []core.Filter{{Attr: "v", Min: 1, Max: 9}}}, 0, int64(ps.Len()*3), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := rj.SeriesJoin(core.Request{Points: ps, Source: st, Regions: rs, Agg: agg.agg, Attr: agg.attr,
+			Filters: []core.Filter{{Attr: "v", Min: 1, Max: 9}}}, 0, int64(ps.Len()*3), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seg.Stats) != len(ram.Stats) {
+			t.Fatalf("%v: bins %d vs %d", agg.agg, len(seg.Stats), len(ram.Stats))
+		}
+		for b := range seg.Stats {
+			assertStatsBits(t, seg.Stats[b], ram.Stats[b], agg.agg.String())
+		}
+	}
+}
+
+// TestSegmentStreamEquivalence: a stream fed the segment source via
+// AddSource finalizes to the same result as one fed the in-RAM set.
+func TestSegmentStreamEquivalence(t *testing.T) {
+	ps, rs := equivScene(3000, 6, 99)
+	st := equivStore(t, ps, 256, 1<<20)
+	rj := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256))
+	mkStream := func() *core.StreamJoin {
+		s, err := rj.NewStream(rs, core.Sum, "v",
+			[]core.Filter{{Attr: "v", Min: 2, Max: 9}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mkStream()
+	if err := a.Add(ps); err != nil {
+		t.Fatal(err)
+	}
+	ram, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mkStream()
+	if err := b.AddSource(st); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsBits(t, seg.Stats, ram.Stats, "stream")
+}
+
+// TestSegmentMultiEquivalence: the multi-aggregate joiner over a segment
+// source matches the in-RAM path bit for bit, per spec.
+func TestSegmentMultiEquivalence(t *testing.T) {
+	ps, rs := equivScene(3000, 6, 123)
+	st := equivStore(t, ps, 512, 1<<20)
+	specs := []core.AggSpec{
+		{Agg: core.Count},
+		{Agg: core.Sum, Attr: "v", Filters: []core.Filter{{Attr: "v", Min: 3, Max: 9}}},
+		{Agg: core.Avg, Attr: "v", Time: &core.TimeFilter{Start: 1000, End: 6000}},
+	}
+	for _, mode := range []core.Mode{core.Approximate, core.Accurate} {
+		rj := core.NewRasterJoin(core.WithMode(mode), core.WithResolution(256))
+		ram, err := rj.MultiJoin(core.Request{Points: ps, Regions: rs}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := rj.MultiJoin(core.Request{Points: ps, Source: st, Regions: rs}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range specs {
+			assertStatsBits(t, seg[s].Stats, ram[s].Stats, mode.String())
+		}
+	}
+}
+
+// TestSegmentFlowEquivalence: the OD matrix over a segment source matches
+// the in-RAM path exactly, including the Filtered/Dropped accounting.
+func TestSegmentFlowEquivalence(t *testing.T) {
+	ps, rs := equivScene(3000, 6, 321)
+	st := equivStore(t, ps, 512, 1<<20)
+	for _, mode := range []core.Mode{core.Approximate, core.Accurate} {
+		rj := core.NewRasterJoin(core.WithMode(mode), core.WithResolution(256))
+		req := core.Request{Points: ps, Regions: rs, Agg: core.Count,
+			Filters: []core.Filter{{Attr: "v", Min: 0, Max: 6}}}
+		ram, err := rj.FlowJoin(req, data.DropoffXAttr, data.DropoffYAttr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sreq := req
+		sreq.Source = st
+		seg, err := rj.FlowJoin(sreq, data.DropoffXAttr, data.DropoffYAttr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Dropped != ram.Dropped || seg.Filtered != ram.Filtered {
+			t.Fatalf("%v: dropped/filtered %d/%d vs %d/%d",
+				mode, seg.Dropped, seg.Filtered, ram.Dropped, ram.Filtered)
+		}
+		if len(seg.Counts) != len(ram.Counts) {
+			t.Fatalf("%v: %d vs %d OD cells", mode, len(seg.Counts), len(ram.Counts))
+		}
+		for cell, n := range ram.Counts {
+			if seg.Counts[cell] != n {
+				t.Fatalf("%v: cell %d: %d vs %d", mode, cell, seg.Counts[cell], n)
+			}
+		}
+	}
+}
+
+// TestSegmentJoinOutOfCore is the bigger-than-budget proof: with a cache
+// holding roughly one decoded block, the full file never resides in memory
+// (evictions observed, resident bytes under budget) and the join still
+// answers bit-identically to the all-in-RAM path.
+func TestSegmentJoinOutOfCore(t *testing.T) {
+	ps, rs := equivScene(6000, 8, 555)
+	// 256-point blocks at 7 columns ≈ 14 KiB decoded; a 20 KiB budget
+	// keeps at most one resident.
+	st := equivStore(t, ps, 256, 20<<10)
+	rj := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256))
+	req := core.Request{Points: ps, Regions: rs, Agg: core.Sum, Attr: "v"}
+	ram, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Source = st
+	seg, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsBits(t, seg.Stats, ram.Stats, "out-of-core")
+	cs := st.CacheStats()
+	if cs.Evictions == 0 {
+		t.Errorf("no evictions under a one-block budget: %+v", cs)
+	}
+	if cs.Bytes > cs.Capacity {
+		t.Errorf("resident %d bytes exceeds budget %d", cs.Bytes, cs.Capacity)
+	}
+}
+
+// TestSegmentCacheColdWarm: the same join answers identically on a cold
+// cache, a warm cache, and after unrelated queries churned the cache.
+func TestSegmentCacheColdWarm(t *testing.T) {
+	ps, rs := equivScene(4000, 6, 777)
+	st := equivStore(t, ps, 512, 64<<10)
+	rj := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256))
+	req := core.Request{Points: ps, Source: st, Regions: rs, Agg: core.Sum, Attr: "v",
+		Filters: []core.Filter{{Attr: "v", Min: 2, Max: 9}}}
+	cold, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsBits(t, warm.Stats, cold.Stats, "cold-vs-warm")
+	// Churn with a different query shape, then re-ask.
+	if _, err := rj.Join(core.Request{Points: ps, Source: st, Regions: rs, Agg: core.Count,
+		Time: &core.TimeFilter{Start: 0, End: 3000}}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := rj.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsBits(t, again.Stats, cold.Stats, "churned")
+	if cs := st.CacheStats(); cs.Hits == 0 {
+		t.Errorf("repeated joins produced no cache hits: %+v", cs)
+	}
+}
+
+// TestSegmentPruneCounters: a tight filter over the time-correlated
+// attribute must actually prune blocks (observable via ScanStats), and the
+// pruned execution must match the unpruned one bit for bit.
+func TestSegmentPruneCounters(t *testing.T) {
+	ps, rs := equivScene(6000, 8, 888)
+	st := equivStore(t, ps, 256, 1<<20)
+	req := core.Request{Points: ps, Source: st, Regions: rs, Agg: core.Count,
+		Filters: []core.Filter{{Attr: "hot", Min: 100, Max: 160}}}
+
+	off := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256),
+		core.WithBlockPrune(false))
+	want, err := off.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s0, p0 := core.ScanStats()
+	on := core.NewRasterJoin(core.WithMode(core.Accurate), core.WithResolution(256))
+	got, err := on.Join(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1 := core.ScanStats()
+	assertStatsBits(t, got.Stats, want.Stats, "pruned-vs-unpruned")
+	if p1-p0 == 0 {
+		t.Errorf("tight filter pruned no blocks (scanned %d)", s1-s0)
+	}
+	if s1-s0 == 0 {
+		t.Error("pruned join scanned no blocks at all")
+	}
+	if p1-p0 <= (s1-s0) {
+		// With a ~1% selectivity filter over a sorted column, far more
+		// blocks must be eliminated than survive.
+		t.Errorf("weak pruning: %d pruned vs %d scanned", p1-p0, s1-s0)
+	}
+}
+
+// TestSegmentJoinCancellation: canceling a segment-backed join mid-pass
+// returns the context error and leaks neither canvases nor textures.
+func TestSegmentJoinCancellation(t *testing.T) {
+	ps, rs := equivScene(100_000, 8, 999)
+	st := equivStore(t, ps, 1024, 1<<20)
+	dev := gpu.New()
+	rj := core.NewRasterJoin(core.WithDevice(dev), core.WithMode(core.Accurate),
+		core.WithResolution(512), core.WithPointBatch(256))
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := rj.JoinContext(ctx, core.Request{Points: ps, Source: st, Regions: rs,
+		Agg: core.Sum, Attr: "v"})
+	if err == nil {
+		t.Skip("join completed before the deadline; nothing to assert")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	awaitGoroutines(t, baseline)
+	requireDevDrained(t, dev, "after canceled segment join")
+}

@@ -111,15 +111,16 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 	if bins < 1 || end <= start {
 		return nil, fmt.Errorf("core: series needs bins >= 1 and a non-empty range")
 	}
-	if req.Points.T == nil {
-		return nil, fmt.Errorf("core: series over point set %q without timestamps", req.Points.Name)
-	}
 	if req.Agg == Min || req.Agg == Max {
 		return nil, fmt.Errorf("core: series join supports COUNT/SUM/AVG, not %v", req.Agg)
 	}
 	req.Time = nil
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	src := req.Data()
+	if !src.HasTime() {
+		return nil, fmt.Errorf("core: series over point set %q without timestamps", src.Name())
 	}
 	fc, err := r.BuildFragmentCacheContext(ctx, req.Regions)
 	if err != nil {
@@ -140,30 +141,34 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 		out.BinStarts[b] = start + int64(b)*width
 		out.Stats[b] = make([]RegionStat, req.Regions.Len())
 	}
-	if req.Points.Len() == 0 || req.Regions.Len() == 0 || fc.T.W == 0 {
+	if src.Len() == 0 || req.Regions.Len() == 0 || fc.T.W == 0 {
 		return out, nil
 	}
 
-	_, _, pred, err := PointPredicate(req)
+	// The base scan carries the attribute filters; each bin re-aims its
+	// time bounds below (range narrowing when sorted, residual predicate
+	// otherwise). Bins run sequentially, so mutating the scan is safe.
+	sc, err := r.newScan(req)
 	if err != nil {
 		return nil, err
 	}
-	var attr []float64
+	attrIdx := -1
 	if req.Agg.NeedsAttr() {
-		attr = req.Points.Attr(req.Attr)
+		attrIdx = data.AttrIndex(src, req.Attr)
 	}
 	c, err := r.dev.NewCanvas(fc.T.World, fc.T.W, fc.T.H)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Release()
+	sc.setWorld(c.T.World)
 	w := fc.T.W
 
 	// Accurate mode: outline the regions once; exclude each region's own
 	// boundary pixels from its cached fragments up front so the per-bin
 	// interior sweep needs no membership tests.
 	var slotOf []int32
-	var bins2D [][]int32 // per boundary-pixel slot, point ids of the current bin
+	var bins2D [][]obs // per boundary-pixel slot, observations of the current bin
 	var regionPixels [][]int32
 	interior := fc
 	if r.mode == Accurate {
@@ -180,16 +185,15 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 		for s, idx := range boundaryList {
 			slotOf[idx] = int32(s)
 		}
-		bins2D = make([][]int32, len(boundaryList))
+		bins2D = make([][]obs, len(boundaryList))
 		interior = excludeOwnBoundary(fc, regionPixels)
 	}
 
-	ps := req.Points
-	sorted := timesSorted(ps.T)
+	sorted := src.TimeSorted()
 	countTex := r.dev.AcquireTexture(fc.T.W, fc.T.H)
 	defer r.dev.ReleaseTexture(countTex)
 	var sumTex *gpu.Texture
-	if attr != nil {
+	if attrIdx >= 0 {
 		sumTex = r.dev.AcquireTexture(fc.T.W, fc.T.H)
 		defer r.dev.ReleaseTexture(sumTex)
 	}
@@ -210,34 +214,45 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 		for s := range bins2D {
 			bins2D[s] = bins2D[s][:0]
 		}
-		lo, hi := 0, ps.Len()
-		var timePred func(i int) bool
+		lo, hi := 0, src.Len()
 		if sorted {
-			lo, hi = ps.TimeWindow(binStart, binEnd)
+			if lo, hi, err = sourceTimeWindow(src, binStart, binEnd); err != nil {
+				return nil, err
+			}
+			sc.res.hasTime = false
 		} else {
-			t := ps.T
-			timePred = func(i int) bool { return t[i] >= binStart && t[i] < binEnd }
+			sc.res.hasTime = true
+			sc.res.tStart, sc.res.tEnd = binStart, binEnd
 		}
-		err = c.DrawPointsParallel(ctx, r.pointWorkers, hi-lo,
-			func(j int) (float64, float64) { i := lo + j; return ps.X[i], ps.Y[i] },
-			func(px, py, j int) {
-				i := lo + j
-				if timePred != nil && !timePred(i) {
-					return
-				}
-				if pred != nil && !pred(i) {
-					return
-				}
-				countTex.Add(px, py, 1)
-				if sumTex != nil {
-					sumTex.Add(px, py, attr[i])
-				}
-				if slotOf != nil {
-					if s := slotOf[py*w+px]; s >= 0 {
-						bins2D[s] = append(bins2D[s], int32(i))
+		err = sc.piecesRange(ctx, lo, hi, func(blk *data.Block, plo, phi int, needPred bool) error {
+			base := blk.Base
+			var attr []float64
+			if attrIdx >= 0 {
+				attr = blk.Attr[attrIdx]
+			}
+			return c.DrawPointsParallel(ctx, r.pointWorkers, phi-plo,
+				func(j int) (float64, float64) { jj := plo - base + j; return blk.X[jj], blk.Y[jj] },
+				func(px, py, j int) {
+					i := plo + j
+					if needPred && !sc.pred(blk, i) {
+						return
 					}
-				}
-			})
+					jj := i - base
+					countTex.Add(px, py, 1)
+					var v float64
+					if attr != nil {
+						v = attr[jj]
+					}
+					if sumTex != nil {
+						sumTex.Add(px, py, v)
+					}
+					if slotOf != nil {
+						if s := slotOf[py*w+px]; s >= 0 {
+							bins2D[s] = append(bins2D[s], obs{x: blk.X[jj], y: blk.Y[jj], v: v})
+						}
+					}
+				})
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -261,13 +276,12 @@ func (r *RasterJoin) SeriesJoinContext(ctx context.Context, req Request, start, 
 			if regionPixels != nil {
 				poly := req.Regions.Regions[k].Poly
 				for _, idx := range regionPixels[k] {
-					for _, id := range bins2D[slotOf[idx]] {
-						p := geom.Point{X: ps.X[id], Y: ps.Y[id]}
-						if poly.Contains(p) {
+					for _, o := range bins2D[slotOf[idx]] {
+						if poly.Contains(geom.Point{X: o.x, Y: o.y}) {
 							cnt++
-							if attr != nil {
+							if attrIdx >= 0 {
 								//lint:ignore floataccum boundary fix-up over one pixel's point bin; dozens of terms at most
-								sum += attr[id]
+								sum += o.v
 							}
 						}
 					}
@@ -302,16 +316,6 @@ func excludeOwnBoundary(fc *FragmentCache, regionPixels [][]int32) *FragmentCach
 		out.start[k+1] = int32(len(out.frags))
 	}
 	return out
-}
-
-// timesSorted reports whether t is non-decreasing.
-func timesSorted(t []int64) bool {
-	for i := 1; i < len(t); i++ {
-		if t[i-1] > t[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // parallelRegions fans region indices [0,n) across the joiner's workers.

@@ -122,54 +122,82 @@ func (s *StreamJoin) Add(ps *data.PointSet) error {
 // its resources released and further use rejected — rather than left in a
 // state that would silently undercount.
 func (s *StreamJoin) AddContext(ctx context.Context, ps *data.PointSet) error {
+	return s.addContext(ctx, Request{Points: ps, Regions: s.regions, Agg: s.agg,
+		Attr: s.attr, Filters: s.filters, Time: s.time})
+}
+
+// AddSource streams one columnar block source (e.g. a segment store) into
+// the aggregation: blocks are zone-pruned, decoded one at a time under the
+// store's cache budget, and never retained — the fully out-of-core
+// formulation of Add.
+func (s *StreamJoin) AddSource(src data.PointSource) error {
+	return s.AddSourceContext(context.Background(), src)
+}
+
+// AddSourceContext is AddSource under a request context, with AddContext's
+// abort-on-cancellation contract.
+func (s *StreamJoin) AddSourceContext(ctx context.Context, src data.PointSource) error {
+	return s.addContext(ctx, Request{Source: src, Regions: s.regions, Agg: s.agg,
+		Attr: s.attr, Filters: s.filters, Time: s.time})
+}
+
+func (s *StreamJoin) addContext(ctx context.Context, req Request) error {
 	if s.finalized {
 		return fmt.Errorf("core: stream already finalized")
 	}
-	req := Request{Points: ps, Regions: s.regions, Agg: s.agg, Attr: s.attr,
-		Filters: s.filters, Time: s.time}
 	if err := req.Validate(); err != nil {
 		return err
 	}
-	lo, hi, pred, err := PointPredicate(req)
+	sc, err := s.r.newScan(req)
 	if err != nil {
 		return err
 	}
-	var attr []float64
+	sc.setWorld(s.canvas.T.World)
+	src := req.Data()
+	attrIdx := -1
 	if s.agg.NeedsAttr() {
-		attr = ps.Attr(s.attr)
+		attrIdx = data.AttrIndex(src, s.attr)
 	}
 	w := s.canvas.T.W
-	err = s.r.drawPointsBatchedParallel(ctx, s.canvas, lo, hi,
-		func(i int) (float64, float64) { return ps.X[i], ps.Y[i] },
-		func(px, py, i int) {
-			if pred != nil && !pred(i) {
-				return
-			}
-			s.countTex.Add(px, py, 1)
-			var v float64
-			if attr != nil {
-				v = attr[i]
-			}
-			switch {
-			case s.sumTex != nil:
-				s.sumTex.Add(px, py, v)
-			case s.minTex != nil:
-				s.minTex.TakeMin(px, py, v)
-			case s.maxTex != nil:
-				s.maxTex.TakeMax(px, py, v)
-			}
-			if s.slotOf != nil {
-				if slot := s.slotOf[py*w+px]; slot >= 0 {
-					s.bins[slot] = append(s.bins[slot], obs{x: ps.X[i], y: ps.Y[i], v: v})
+	err = sc.piecesRange(ctx, sc.Lo, sc.Hi, func(blk *data.Block, lo, hi int, needPred bool) error {
+		base := blk.Base
+		var attr []float64
+		if attrIdx >= 0 {
+			attr = blk.Attr[attrIdx]
+		}
+		return s.r.drawPointsBatchedParallel(ctx, s.canvas, lo, hi,
+			func(i int) (float64, float64) { j := i - base; return blk.X[j], blk.Y[j] },
+			func(px, py, i int) {
+				if needPred && !sc.pred(blk, i) {
+					return
 				}
-			}
-		})
+				j := i - base
+				s.countTex.Add(px, py, 1)
+				var v float64
+				if attr != nil {
+					v = attr[j]
+				}
+				switch {
+				case s.sumTex != nil:
+					s.sumTex.Add(px, py, v)
+				case s.minTex != nil:
+					s.minTex.TakeMin(px, py, v)
+				case s.maxTex != nil:
+					s.maxTex.TakeMax(px, py, v)
+				}
+				if s.slotOf != nil {
+					if slot := s.slotOf[py*w+px]; slot >= 0 {
+						s.bins[slot] = append(s.bins[slot], obs{x: blk.X[j], y: blk.Y[j], v: v})
+					}
+				}
+			})
+	})
 	if err != nil {
 		s.Abort()
 		return err
 	}
 	s.batches++
-	s.points += int64(hi - lo)
+	s.points += int64(sc.Hi - sc.Lo)
 	return nil
 }
 

@@ -95,16 +95,20 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 	tree := index.BuildRTree(boxes)
 	regions := cfg.Regions.Regions
 
-	attrCols := make([][]float64, len(cfg.Attrs))
+	src := ps.Source()
+	attrIdxs := make([]int, len(cfg.Attrs))
 	for i, a := range cfg.Attrs {
-		attrCols[i] = ps.Attr(a)
+		attrIdxs[i] = data.AttrIndex(src, a)
 	}
 
 	// Parallel over point shards with per-shard cells, merged at the end.
+	// Each shard walks its index range in source blocks (zero-copy for the
+	// in-RAM set; decoded block by block for segment-backed sources), so the
+	// per-shard accumulation order — and the float sums — are unchanged.
 	//
 	// Race audit (sharedwrite-clean): each goroutine owns the `partial`
 	// it receives as an argument (counts/sums allocated per shard); the
-	// spatial index and attribute columns are read-only. The merge into
+	// spatial index and source blocks are read-only. The merge into
 	// c.counts/c.sums runs single-threaded after wg.Wait().
 	workers := runtime.GOMAXPROCS(0)
 	shard := (ps.Len() + workers - 1) / workers
@@ -130,24 +134,29 @@ func Build(ps *data.PointSet, cfg Config) (*Cube, error) {
 		wg.Add(1)
 		go func(s, e int, p partial) {
 			defer wg.Done()
-			for i := s; i < e; i++ {
-				pt := geom.Point{X: ps.X[i], Y: ps.Y[i]}
-				bin := 0
-				if c.cfg.TimeBin > 0 && ps.T != nil {
-					bin = int((ps.T[i] - c.start) / c.cfg.TimeBin)
+			_ = data.WalkBlocks(src, s, e, func(blk *data.Block, bs, be int) error {
+				base := blk.Base
+				for i := bs; i < be; i++ {
+					j := i - base
+					pt := geom.Point{X: blk.X[j], Y: blk.Y[j]}
+					bin := 0
+					if c.cfg.TimeBin > 0 && blk.T != nil {
+						bin = int((blk.T[j] - c.start) / c.cfg.TimeBin)
+					}
+					tree.SearchPoint(pt, func(id int32) {
+						if !regions[id].Poly.Contains(pt) {
+							return
+						}
+						cell := bin*c.nr + int(id)
+						p.counts[cell]++
+						for a, ai := range attrIdxs {
+							//lint:ignore floataccum build hot path; error bounded per shard, partials merged below
+							p.sums[a][cell] += blk.Attr[ai][j]
+						}
+					})
 				}
-				tree.SearchPoint(pt, func(id int32) {
-					if !regions[id].Poly.Contains(pt) {
-						return
-					}
-					cell := bin*c.nr + int(id)
-					p.counts[cell]++
-					for a := range attrCols {
-						//lint:ignore floataccum build hot path; error bounded per shard, partials merged below
-						p.sums[a][cell] += attrCols[a][i]
-					}
-				})
-			}
+				return nil
+			})
 		}(s, e, p)
 	}
 	wg.Wait()

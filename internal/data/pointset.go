@@ -33,7 +33,8 @@ type PointSet struct {
 	// Attrs are the attribute columns, all of length Len().
 	Attrs []Column
 
-	stamp atomic.Uint64
+	stamp  atomic.Uint64
+	source atomic.Pointer[setSource]
 }
 
 // pointSetStamps issues process-unique PointSet identities; 0 is reserved
@@ -178,6 +179,12 @@ func (ps *PointSet) Select(idx []int) *PointSet {
 // SortByTime reorders the points in ascending timestamp order. Sorting is
 // stable with respect to nothing in particular; it exists so time-filtered
 // scans can binary-search their window.
+//
+// Reordering produces new data, so any previously issued stamp and cached
+// Source view are discarded: geoblocks/span/segment caches keyed on the old
+// stamp must never alias the reordered columns. The columns are assigned
+// field-wise — the whole struct cannot be copied over because the stamp and
+// source fields are atomics.
 func (ps *PointSet) SortByTime() {
 	if ps.T == nil {
 		return
@@ -187,7 +194,10 @@ func (ps *PointSet) SortByTime() {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return ps.T[idx[a]] < ps.T[idx[b]] })
-	*ps = *ps.Select(idx)
+	sorted := ps.Select(idx)
+	ps.X, ps.Y, ps.T, ps.Attrs = sorted.X, sorted.Y, sorted.T, sorted.Attrs
+	ps.stamp.Store(0)
+	ps.source.Store(nil)
 }
 
 // TimeWindow returns the index range [lo, hi) of points with timestamps in

@@ -120,18 +120,28 @@ func BuildContext(ctx context.Context, ps *data.PointSet, maxLevel int) (*Index,
 	ix.finW = ix.bounds.Width() / float64(side)
 	ix.finH = ix.bounds.Height() / float64(side)
 
-	// Counting sort of point ids into finest cells.
+	// Counting sort of point ids into finest cells. The bucketing pass
+	// walks the point source block by block (zero-copy for the in-RAM
+	// set), so a segment-backed build touches one decoded block at a time.
 	ix.start = make([]int32, cells+1)
 	cellOf := make([]int32, n)
-	for i := 0; i < n; i++ {
-		if i%buildPollStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	err := data.WalkBlocks(ps.Source(), 0, n, func(blk *data.Block, bs, be int) error {
+		base := blk.Base
+		for i := bs; i < be; i++ {
+			if i%buildPollStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
+			j := i - base
+			c := ix.finestCell(blk.X[j], blk.Y[j])
+			cellOf[i] = c
+			ix.start[c+1]++
 		}
-		c := ix.finestCell(ps.X[i], ps.Y[i])
-		cellOf[i] = c
-		ix.start[c+1]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for c := 0; c < cells; c++ {
 		ix.start[c+1] += ix.start[c]

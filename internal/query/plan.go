@@ -19,6 +19,16 @@ type Catalog interface {
 	RegionSet(name string) (*data.RegionSet, bool)
 }
 
+// SourceCatalog is an optional Catalog extension: a catalog that can also
+// resolve a data set name to a columnar block source (e.g. an out-of-core
+// segment store). When the catalog provides one, the planner attaches it to
+// the request so the raster engine executes block-at-a-time with zone-map
+// pruning instead of scanning the in-RAM arrays; the in-RAM set stays
+// resolved alongside for engines that need random access (cubes, geoblocks).
+type SourceCatalog interface {
+	PointSource(name string) (data.PointSource, bool)
+}
+
 // Plan is a routed, ready-to-execute query.
 type Plan struct {
 	Query   Query
@@ -71,6 +81,11 @@ func (pl *Planner) Plan(q Query, cat Catalog) (*Plan, error) {
 		Attr:    q.Attr,
 		Filters: q.Filters,
 		Time:    q.Time,
+	}
+	if sc, ok := cat.(SourceCatalog); ok {
+		if src, found := sc.PointSource(q.Points); found {
+			req.Source = src
+		}
 	}
 	if err := req.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,457 @@
+package segment
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// randomSet builds a reproducible point set with n points, a time column
+// (sorted when sorted is true), and two attributes.
+func randomSet(rng *rand.Rand, n int, sorted bool) *data.PointSet {
+	ps := &data.PointSet{Name: "seg-test"}
+	ps.X = make([]float64, n)
+	ps.Y = make([]float64, n)
+	ps.T = make([]int64, n)
+	fare := make([]float64, n)
+	tip := make([]float64, n)
+	t := int64(1_500_000_000)
+	for i := 0; i < n; i++ {
+		ps.X[i] = rng.Float64() * 1e6
+		ps.Y[i] = rng.Float64() * 1e6
+		if sorted {
+			t += rng.Int63n(30)
+		} else {
+			t = 1_500_000_000 + rng.Int63n(1_000_000)
+		}
+		ps.T[i] = t
+		fare[i] = rng.Float64() * 60
+		tip[i] = rng.Float64() * 12
+	}
+	ps.AddAttr("fare", fare)
+	ps.AddAttr("tip", tip)
+	return ps
+}
+
+// writeTemp writes ps to a temp segment file and opens it.
+func writeTemp(t *testing.T, ps *data.PointSet, wopts []WriterOption, sopts []StoreOption) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seg.useg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(f, ps, wopts...); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, sopts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// assertRoundTrip checks that st reproduces ps bit-exactly.
+func assertRoundTrip(t *testing.T, ps *data.PointSet, st *Store) {
+	t.Helper()
+	if st.Len() != ps.Len() {
+		t.Fatalf("Len = %d, want %d", st.Len(), ps.Len())
+	}
+	if st.Name() != ps.Name {
+		t.Errorf("Name = %q, want %q", st.Name(), ps.Name)
+	}
+	if got, want := st.HasTime(), ps.T != nil; got != want {
+		t.Errorf("HasTime = %v, want %v", got, want)
+	}
+	names := st.AttrNames()
+	wantNames := ps.AttrNames()
+	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
+		t.Errorf("AttrNames = %v, want %v", names, wantNames)
+	}
+	for b := 0; b < st.NumBlocks(); b++ {
+		blk, err := st.Block(b)
+		if err != nil {
+			t.Fatalf("Block(%d): %v", b, err)
+		}
+		lo, hi := st.BlockSpan(b)
+		if blk.Base != lo || blk.Len() != hi-lo {
+			t.Fatalf("block %d: Base=%d Len=%d, want Base=%d Len=%d", b, blk.Base, blk.Len(), lo, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			j := i - lo
+			if math.Float64bits(blk.X[j]) != math.Float64bits(ps.X[i]) ||
+				math.Float64bits(blk.Y[j]) != math.Float64bits(ps.Y[i]) {
+				t.Fatalf("point %d: coords (%v,%v), want (%v,%v)", i, blk.X[j], blk.Y[j], ps.X[i], ps.Y[i])
+			}
+			if ps.T != nil && blk.T[j] != ps.T[i] {
+				t.Fatalf("point %d: T=%d, want %d", i, blk.T[j], ps.T[i])
+			}
+			for a := range ps.Attrs {
+				if math.Float64bits(blk.Attr[a][j]) != math.Float64bits(ps.Attrs[a].Values[i]) {
+					t.Fatalf("point %d attr %d: %v, want %v", i, a, blk.Attr[a][j], ps.Attrs[a].Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := randomSet(rng, 20_000, true)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(1024)}, nil)
+	if !st.TimeSorted() {
+		t.Error("TimeSorted = false for sorted input")
+	}
+	if want := (20_000 + 1023) / 1024; st.NumBlocks() != want {
+		t.Errorf("NumBlocks = %d, want %d", st.NumBlocks(), want)
+	}
+	assertRoundTrip(t, ps, st)
+}
+
+func TestSegmentRoundTripUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := randomSet(rng, 5_000, false)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(512)}, nil)
+	if st.TimeSorted() {
+		t.Error("TimeSorted = true for unsorted input")
+	}
+	assertRoundTrip(t, ps, st)
+}
+
+func TestSegmentRoundTripNoTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := randomSet(rng, 3_000, true)
+	ps.T = nil
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(700)}, nil)
+	if st.HasTime() || st.TimeSorted() {
+		t.Error("time flags set on timeless segment")
+	}
+	assertRoundTrip(t, ps, st)
+}
+
+// TestSegmentSpecialFloats proves the raw encoding is bit-exact for the
+// values float formats mangle: NaN payloads, ±0, ±Inf, and denormals.
+func TestSegmentSpecialFloats(t *testing.T) {
+	specials := []float64{
+		0, math.Copysign(0, -1),
+		math.Inf(1), math.Inf(-1),
+		math.NaN(),
+		math.Float64frombits(0x7ff8_0000_0000_0001), // NaN with payload
+		math.Float64frombits(0xfff8_dead_beef_0000), // negative NaN payload
+		math.Float64frombits(1),                     // smallest denormal
+		math.Float64frombits(0x000f_ffff_ffff_ffff), // largest denormal
+		math.MaxFloat64, -math.MaxFloat64,
+	}
+	n := len(specials) * 3
+	ps := &data.PointSet{Name: "specials"}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := specials[i%len(specials)]
+		ps.X = append(ps.X, v)
+		ps.Y = append(ps.Y, -v)
+		ps.T = append(ps.T, int64(i))
+		vals[i] = v
+	}
+	ps.AddAttr("v", vals)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(7)}, nil)
+	assertRoundTrip(t, ps, st)
+	// A block whose X values include NaN must carry the marker.
+	sawNaN := false
+	for b := 0; b < st.NumBlocks(); b++ {
+		if st.Zone(b).X.HasNaN {
+			sawNaN = true
+		}
+	}
+	if !sawNaN {
+		t.Error("no zone recorded HasNaN despite NaN coordinates")
+	}
+}
+
+func TestSegmentZones(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := randomSet(rng, 10_000, true)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(1000)}, nil)
+	for b := 0; b < st.NumBlocks(); b++ {
+		lo, hi := st.BlockSpan(b)
+		want := data.BuildZone(ps, lo, hi)
+		got := st.Zone(b)
+		if got.X != want.X || got.Y != want.Y || got.MinT != want.MinT || got.MaxT != want.MaxT {
+			t.Fatalf("block %d zone = %+v, want %+v", b, got, want)
+		}
+		for a := range want.Attr {
+			if got.Attr[a] != want.Attr[a] {
+				t.Fatalf("block %d attr %d zone = %+v, want %+v", b, a, got.Attr[a], want.Attr[a])
+			}
+		}
+	}
+}
+
+func TestSegmentMultiBatchAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	full := randomSet(rng, 9_000, true)
+	path := filepath.Join(t.TempDir(), "seg.useg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WithBlockSize(1024))
+	// Append in uneven batches; block boundaries must not align with them.
+	for lo := 0; lo < full.Len(); {
+		hi := lo + 700
+		if hi > full.Len() {
+			hi = full.Len()
+		}
+		if err := w.Append(full.Slice(lo, hi)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		lo = hi
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f.Close()
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	assertRoundTrip(t, full, st)
+	if !st.TimeSorted() {
+		t.Error("TimeSorted lost across batches")
+	}
+}
+
+func TestSegmentSchemaMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomSet(rng, 100, true)
+	b := randomSet(rng, 100, true)
+	b.Attrs = b.Attrs[:1]
+	w := NewWriter(new(bytes.Buffer))
+	if err := w.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(b); err == nil {
+		t.Error("Append accepted mismatched attribute schema")
+	}
+	w2 := NewWriter(new(bytes.Buffer))
+	if err := w2.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	c := randomSet(rng, 10, true)
+	c.T = nil
+	if err := w2.Append(c); err == nil {
+		t.Error("Append accepted mismatched time presence")
+	}
+}
+
+func TestSegmentFromCSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := randomSet(rng, 2_500, true)
+	var csv bytes.Buffer
+	if err := data.WriteCSV(&csv, ps); err != nil {
+		t.Fatal(err)
+	}
+	var seg bytes.Buffer
+	n, err := FromCSV(&csv, "csv-set", &seg, WithBlockSize(600))
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	if n != ps.Len() {
+		t.Fatalf("FromCSV wrote %d points, want %d", n, ps.Len())
+	}
+	st, err := OpenReaderAt(bytes.NewReader(seg.Bytes()), int64(seg.Len()))
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	if st.Name() != "csv-set" {
+		t.Errorf("Name = %q", st.Name())
+	}
+	ps.Name = "csv-set"
+	assertRoundTrip(t, ps, st)
+}
+
+// TestSegmentCacheEviction drives a store whose cache holds only a few
+// blocks and checks the byte bound, the counters, and that evicted blocks
+// decode again correctly — the out-of-core contract in miniature.
+func TestSegmentCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := randomSet(rng, 16_384, true)
+	// Each decoded block: 1024 points * 5 cols * 8B = 40 KiB. Cap at ~3 blocks.
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(1024)},
+		[]StoreOption{WithCacheBytes(128 << 10)})
+	assertRoundTrip(t, ps, st) // sequential: misses only, evictions happen
+	stats := st.CacheStats()
+	if stats.Misses != int64(st.NumBlocks()) {
+		t.Errorf("misses = %d, want %d", stats.Misses, st.NumBlocks())
+	}
+	if stats.Evictions == 0 {
+		t.Error("no evictions despite cache smaller than data")
+	}
+	if stats.Bytes > stats.Capacity {
+		t.Errorf("cache bytes %d exceed capacity %d", stats.Bytes, stats.Capacity)
+	}
+	// Re-reading the most recent block hits; an old one misses again.
+	last := st.NumBlocks() - 1
+	if _, err := st.Block(last); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CacheStats(); got.Hits != stats.Hits+1 {
+		t.Errorf("hits = %d, want %d", got.Hits, stats.Hits+1)
+	}
+	blk, err := st.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(blk.X[0]) != math.Float64bits(ps.X[0]) {
+		t.Error("re-decoded evicted block differs")
+	}
+}
+
+// TestSegmentOutOfCore opens a store whose cache is smaller than a single
+// block — every access decodes from disk — and checks full correctness.
+func TestSegmentOutOfCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomSet(rng, 8_000, true)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(1024)},
+		[]StoreOption{WithCacheBytes(1)})
+	assertRoundTrip(t, ps, st)
+	stats := st.CacheStats()
+	if stats.Blocks != 0 || stats.Bytes != 0 {
+		t.Errorf("cache retained %d blocks / %d bytes with 1-byte budget", stats.Blocks, stats.Bytes)
+	}
+	if stats.Hits != 0 {
+		t.Errorf("hits = %d, want 0", stats.Hits)
+	}
+}
+
+func TestSegmentConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ps := randomSet(rng, 8_192, true)
+	st := writeTemp(t, ps, []WriterOption{WithBlockSize(512)},
+		[]StoreOption{WithCacheBytes(64 << 10)})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				b := r.Intn(st.NumBlocks())
+				blk, err := st.Block(b)
+				if err != nil {
+					done <- err
+					return
+				}
+				lo, _ := st.BlockSpan(b)
+				if math.Float64bits(blk.X[0]) != math.Float64bits(ps.X[lo]) {
+					t.Errorf("block %d corrupt under concurrency", b)
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSegmentCorruptInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps := randomSet(rng, 1_000, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, ps, WithBlockSize(256)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:8],
+		"bad-head":    append([]byte("XXXX"), good[4:]...),
+		"bad-tail":    append(append([]byte(nil), good[:len(good)-4]...), 'X', 'X', 'X', 'X'),
+		"toc-cut":     good[:len(good)-40],
+		"bad-version": append(append([]byte(nil), good[:4]...), append([]byte{99, 0, 0, 0}, good[8:]...)...),
+	}
+	for name, b := range cases {
+		if _, err := OpenReaderAt(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Errorf("%s: Open succeeded on corrupt input", name)
+		}
+	}
+}
+
+// FuzzSegmentRoundTrip fuzzes the per-point encoding path, biasing toward
+// special float values (NaN payloads, ±0, denormals) and irregular
+// timestamps, asserting a bit-exact round trip.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(40), uint8(7), false)
+	f.Add(int64(2), uint16(1), uint8(1), true)
+	f.Add(int64(3), uint16(300), uint8(64), true)
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, blockSize uint8, noTime bool) {
+		if n == 0 {
+			return
+		}
+		bs := int(blockSize)
+		if bs == 0 {
+			bs = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		weird := []float64{
+			math.NaN(), math.Float64frombits(0x7ff0_0000_0000_0001),
+			math.Copysign(0, -1), 0, math.Inf(1), math.Inf(-1),
+			math.Float64frombits(1), math.Float64frombits(rng.Uint64()),
+		}
+		pick := func() float64 {
+			if rng.Intn(3) == 0 {
+				return weird[rng.Intn(len(weird))]
+			}
+			return rng.NormFloat64() * 1e6
+		}
+		ps := &data.PointSet{Name: "fuzz"}
+		vals := make([]float64, n)
+		for i := 0; i < int(n); i++ {
+			ps.X = append(ps.X, pick())
+			ps.Y = append(ps.Y, pick())
+			if !noTime {
+				ps.T = append(ps.T, rng.Int63()-rng.Int63())
+			}
+			vals[i] = pick()
+		}
+		ps.AddAttr("v", vals)
+		var buf bytes.Buffer
+		if err := Write(&buf, ps, WithBlockSize(bs)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		st, err := OpenReaderAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()),
+			WithCacheBytes(int64(rng.Intn(4096))))
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for b := 0; b < st.NumBlocks(); b++ {
+			blk, err := st.Block(b)
+			if err != nil {
+				t.Fatalf("Block(%d): %v", b, err)
+			}
+			lo, hi := st.BlockSpan(b)
+			for i := lo; i < hi; i++ {
+				j := i - lo
+				if math.Float64bits(blk.X[j]) != math.Float64bits(ps.X[i]) ||
+					math.Float64bits(blk.Y[j]) != math.Float64bits(ps.Y[i]) ||
+					math.Float64bits(blk.Attr[0][j]) != math.Float64bits(vals[i]) {
+					t.Fatalf("point %d differs after round trip", i)
+				}
+				if !noTime && blk.T[j] != ps.T[i] {
+					t.Fatalf("point %d: T=%d, want %d", i, blk.T[j], ps.T[i])
+				}
+			}
+		}
+	})
+}

@@ -29,6 +29,11 @@ type Framework struct {
 	mu      sync.RWMutex
 	points  map[string]*data.PointSet
 	regions map[string]*data.RegionSet
+	// sources maps data set names to columnar block sources (segment
+	// stores): when present, ad-hoc execution for that set runs
+	// block-at-a-time with zone-map pruning instead of scanning the in-RAM
+	// arrays. See AttachSegments.
+	sources map[string]data.PointSource
 	planner *query.Planner
 	// version counts catalog mutations (data sets, layers, cubes); the
 	// server's query-result cache slaves its generation to it so any
@@ -50,6 +55,7 @@ func New(rj *core.RasterJoin) *Framework {
 	return &Framework{
 		points:  make(map[string]*data.PointSet),
 		regions: make(map[string]*data.RegionSet),
+		sources: make(map[string]data.PointSource),
 		planner: query.NewPlanner(rj),
 	}
 }
@@ -139,6 +145,57 @@ func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []stri
 	return c, nil
 }
 
+// AttachSegments binds a columnar block source (typically a *segment.Store)
+// to an already-registered data set: ad-hoc queries against the set then
+// execute block-at-a-time through the source — zone-map pruned, decoded
+// under the store's byte budget — while the in-RAM set keeps serving the
+// engines that need random access (cubes, geoblocks, heatmaps). The source
+// must agree with the set on length and schema; registration bumps the
+// catalog version so cached responses are dropped.
+func (f *Framework) AttachSegments(dataset string, src data.PointSource) error {
+	if src == nil {
+		return fmt.Errorf("urbane: nil point source for %q", dataset)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ps, ok := f.points[dataset]
+	if !ok {
+		return fmt.Errorf("urbane: unknown point set %q", dataset)
+	}
+	if src.Len() != ps.Len() {
+		return fmt.Errorf("urbane: segment source for %q holds %d points, set holds %d",
+			dataset, src.Len(), ps.Len())
+	}
+	if got, want := src.AttrNames(), ps.AttrNames(); len(got) != len(want) {
+		return fmt.Errorf("urbane: segment source for %q has %d attributes, set has %d",
+			dataset, len(got), len(want))
+	}
+	f.sources[dataset] = src
+	f.version.Add(1)
+	return nil
+}
+
+// PointSource implements query.SourceCatalog: it resolves a data set name
+// to its attached segment source, if any.
+func (f *Framework) PointSource(name string) (data.PointSource, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	src, ok := f.sources[name]
+	return src, ok
+}
+
+// PointSourceNames returns the data set names with attached segment sources
+// (unordered).
+func (f *Framework) PointSourceNames() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.sources))
+	for n := range f.sources {
+		names = append(names, n)
+	}
+	return names
+}
+
 // PointSet implements query.Catalog.
 func (f *Framework) PointSet(name string) (*data.PointSet, bool) {
 	f.mu.RLock()
@@ -208,6 +265,11 @@ func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core
 	f.mu.RUnlock()
 	f.syncSpanCache()
 	f.syncGeoBlocks()
+	if req.Source == nil && req.Points != nil {
+		if src, ok := f.PointSource(req.Points.Name); ok {
+			req.Source = src
+		}
+	}
 	for _, c := range pl.Cubes {
 		if c.CanServe(req) == nil {
 			return core.JoinContext(ctx, c, req)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/qcache"
 	"repro/internal/query"
+	"repro/internal/segment"
 	"repro/internal/trace"
 )
 
@@ -601,8 +602,19 @@ type statsResponse struct {
 	LiveCanvases   int64                 `json:"liveCanvases"`
 	LiveTextures   int64                 `json:"liveTextures"`
 	Admission      admit.Stats           `json:"admission"`
+	Segments       segmentsStats         `json:"segments"`
 	Gauges         map[string]int64      `json:"gauges"`
 	Endpoints      []trace.EndpointStats `json:"endpoints"`
+}
+
+// segmentsStats reports segment-backed execution: which data sets run on
+// attached block sources, the process-wide zone-map pruning counters, and
+// the decoded-block cache totals aggregated across every attached store.
+type segmentsStats struct {
+	Sources       []string           `json:"sources"`
+	BlocksScanned int64              `json:"blocksScanned"`
+	BlocksPruned  int64              `json:"blocksPruned"`
+	Cache         segment.CacheStats `json:"cache"`
 }
 
 // handleStats reports the server's request statistics: GET /api/stats.
@@ -615,6 +627,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	dev := s.f.rasterJoiner().Device()
 	adm := s.admit.Stats()
+	seg := segmentsStats{Sources: s.f.PointSourceNames()}
+	sort.Strings(seg.Sources)
+	seg.BlocksScanned, seg.BlocksPruned = core.ScanStats()
+	for _, name := range seg.Sources {
+		if src, ok := s.f.PointSource(name); ok {
+			if cs, ok := src.(interface{ CacheStats() segment.CacheStats }); ok {
+				seg.Cache.Add(cs.CacheStats())
+			}
+		}
+	}
 	// Mirror the admission snapshot into the trace registry's gauge map so
 	// any consumer of the registry sees shed/queued/inflight without knowing
 	// about the admit package.
@@ -627,6 +649,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LiveCanvases:   dev.LiveCanvases(),
 		LiveTextures:   dev.LiveTextures(),
 		Admission:      adm,
+		Segments:       seg,
 		Gauges:         s.metrics.Gauges(),
 		Endpoints:      s.metrics.Snapshot(),
 	})

@@ -153,13 +153,15 @@ func (m *Mix) Next() HTTPRequest {
 	// Weighted families, mirroring what an interactive session issues:
 	// the map view dominates, sliders re-issue queries, tiles stream in.
 	switch r := m.rng.Float64(); {
-	case r < 0.28:
+	case r < 0.26:
 		return m.mapview()
-	case r < 0.42:
+	case r < 0.38:
 		return m.query()
-	case r < 0.54:
+	case r < 0.46:
+		return m.filterHeavy()
+	case r < 0.56:
 		return m.heatmap()
-	case r < 0.63:
+	case r < 0.64:
 		return m.delta()
 	case r < 0.72:
 		return m.explore()
@@ -183,6 +185,33 @@ func (m *Mix) mapview() HTTPRequest {
 		ds, pick(m.rng, m.cfg.Layers), agg, attr,
 		m.filterJSON(ds, 0.5), m.timeJSON(0.6))
 	return HTTPRequest{Method: http.MethodPost, Path: "/api/mapview", Body: body, Kind: "mapview"}
+}
+
+// filterHeavy mimics a drilled-down exploration step: a choropleth under a
+// sliver of an attribute range and an hours-wide time window, selecting a
+// small fraction of the data. On a segment-backed catalog these requests
+// zone-prune nearly every block, so the family keeps the pruning and
+// residual-predicate paths hot under soak and chaos load.
+func (m *Mix) filterHeavy() HTTPRequest {
+	ds := pick(m.rng, m.cfg.Datasets)
+	agg, attr := m.agg(ds)
+	span := m.cfg.TimeMax - m.cfg.TimeMin
+	width := int64(1+m.rng.Intn(4)) * 3600
+	if width > span {
+		width = span
+	}
+	start := m.cfg.TimeMin + m.rng.Int63n(span-width+1)/3600*3600
+	timeJSON := fmt.Sprintf(`,"time":{"start":%d,"end":%d}`, start, start+width)
+	filterJSON := ""
+	if attrs := m.cfg.Attrs[ds]; len(attrs) > 0 {
+		fa := pick(m.rng, attrs)
+		lo := float64(m.rng.Intn(40)) + m.rng.Float64()
+		hi := lo + 0.25 + m.rng.Float64()
+		filterJSON = fmt.Sprintf(`,"filters":[{"attr":%q,"min":%g,"max":%g}]`, fa, lo, hi)
+	}
+	body := fmt.Sprintf(`{"dataset":%q,"layer":%q,"agg":%q,"attr":%q%s%s}`,
+		ds, pick(m.rng, m.cfg.Layers), agg, attr, filterJSON, timeJSON)
+	return HTTPRequest{Method: http.MethodPost, Path: "/api/mapview", Body: body, Kind: "filterheavy"}
 }
 
 func (m *Mix) query() HTTPRequest {
