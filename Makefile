@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke segment-smoke verify
+.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke segment-smoke ingest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -93,5 +93,17 @@ segment-smoke:
 	$(GO) test -race -count=1 ./internal/segment
 	$(GO) test -race -count=1 -run '^TestSegment' ./internal/core
 	$(GO) test -race -count=1 -run '^TestChaosSoak$$' ./internal/chaos
+
+# Incremental-maintenance gate under the race detector: append-while-query
+# smoke over every maintained structure (slab fold, geoblocks patch, tiles,
+# per-dataset epoch sweeps), the geoblocks patch-vs-rebuild metamorphic
+# suite, the slab fold property suite, and the concurrent-ingest chaos soak
+# with its byte-identical replay against a pristine server fed the same
+# appends.
+ingest-smoke:
+	$(GO) test -race -count=1 -run '^TestIngestSmoke$$|^TestAppend' ./internal/urbane
+	$(GO) test -race -count=1 -run '^TestPatch' ./internal/geoblocks
+	$(GO) test -race -count=1 ./internal/tcache ./internal/workload
+	$(GO) test -race -count=1 -run '^TestIngestSoakReplay$$' ./internal/chaos
 
 verify: build vet lint test

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/index"
 	"repro/internal/segment"
+	"repro/internal/tcache"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -942,6 +944,100 @@ func runE20(scale float64) {
 	must(err)
 	must(os.WriteFile("BENCH_segments.json", append(out, '\n'), 0o644))
 	fmt.Printf("\nwrote BENCH_segments.json\n")
+}
+
+// ---------------------------------------------------------------- E21
+
+// incrementalJSON is the machine-readable mirror of E21, written to
+// BENCH_incremental.json.
+type incrementalJSON struct {
+	Cores   int                  `json:"cores"`
+	Points  int                  `json:"points"`
+	GranSec int64                `json:"gran_sec"`
+	Rows    []incrementalRowJSON `json:"window_sweep"`
+}
+
+type incrementalRowJSON struct {
+	Slabs        int     `json:"slabs"`
+	Count        int64   `json:"count"`
+	WarmSlideNs  int64   `json:"warm_slide_ns_per_op"`
+	ColdFoldNs   int64   `json:"cold_fold_ns_per_op"`
+	SlabsReused  uint64  `json:"slabs_reused"`
+	SpeedupSlide float64 `json:"slide_speedup_vs_cold"`
+}
+
+// runE21 measures incremental temporal view maintenance: the time-slider's
+// one-slab slide (window advances one slab; W-1 cached partials fold with
+// 1 recomputed slab) against the cold fold a whole-window invalidation
+// would force (every slab recomputed through the raster join). Window
+// widths 4, 8, and 16 slabs at 6h granularity over the Jan-2009 month.
+// Counts are asserted identical against the monolithic raster join before
+// any timing is reported — the fold is an optimization, never an
+// approximation.
+func runE21(scale float64) {
+	n := scaled(1_000_000, scale, 200_000)
+	scene := workload.NYC(n, 2009)
+	ps := scene.Taxi
+	regions := scene.Neighborhoods
+	const gran = int64(6 * 3600)
+	start0 := workload.Jan2009().Start // slab-aligned: midnight is a 6h boundary
+
+	raster := core.NewRasterJoin(core.WithResolution(1024), core.WithMode(core.Accurate))
+	base := core.Request{Points: ps, Regions: regions, Agg: core.Sum, Attr: "fare"}
+	ctx := context.Background()
+	fmt.Printf("workload: %d points, %d regions, %dh slabs; one-slab slide vs cold fold\n",
+		n, regions.Len(), gran/3600)
+
+	rep := incrementalJSON{Cores: runtime.NumCPU(), Points: n, GranSec: gran}
+	t := newTable("window", "count", "warm slide", "cold fold", "slabs reused", "slide speedup")
+	for _, w := range []int{4, 8, 16} {
+		j := tcache.New(raster, gran, 0, 0)
+		cursor := start0
+		windowReq := func() core.Request {
+			req := base
+			req.Time = &core.TimeFilter{Start: cursor, End: cursor + int64(w)*gran}
+			return req
+		}
+		if _, err := j.JoinContext(ctx, windowReq()); err != nil { // initial fill
+			must(err)
+		}
+		cursor += gran // one untimed slide pages in pools before timing
+		if _, err := j.JoinContext(ctx, windowReq()); err != nil {
+			must(err)
+		}
+		var folded *core.Result
+		warmLat := timeMedian(5, func() {
+			cursor += gran // each op slides one slab: 1 recompute + w-1 reuses
+			r, err := j.JoinContext(ctx, windowReq())
+			must(err)
+			folded = r
+		})
+		coldLat := timeMedian(3, func() {
+			cold := tcache.New(raster, gran, 0, 0)
+			_, err := cold.JoinContext(ctx, windowReq())
+			must(err)
+		})
+
+		want, err := raster.JoinContext(ctx, windowReq())
+		must(err)
+		if folded.TotalCount() != want.TotalCount() {
+			panic(fmt.Sprintf("E21 w=%d: fold count %d != raster count %d",
+				w, folded.TotalCount(), want.TotalCount()))
+		}
+		speedup := float64(coldLat) / float64(warmLat)
+		t.row(fmt.Sprintf("%d slabs", w), want.TotalCount(), warmLat, coldLat, j.SlabsReused(), speedup)
+		rep.Rows = append(rep.Rows, incrementalRowJSON{
+			Slabs: w, Count: want.TotalCount(),
+			WarmSlideNs: warmLat.Nanoseconds(), ColdFoldNs: coldLat.Nanoseconds(),
+			SlabsReused: j.SlabsReused(), SpeedupSlide: speedup,
+		})
+	}
+	t.flush()
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_incremental.json", append(out, '\n'), 0o644))
+	fmt.Printf("\nwrote BENCH_incremental.json\n")
 }
 
 func must(err error) {

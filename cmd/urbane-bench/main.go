@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"E17", "Region span cache: cold vs warm vs disabled on the tract layer", runE17},
 	{"E19", "GeoBlocks hierarchy: arbitrary-polygon selectivity sweep vs raster path", runE19},
 	{"E20", "Columnar segments: filter-selectivity sweep, block pruning vs full scan", runE20},
+	{"E21", "Incremental windows: one-slab slide over cached partials vs cold fold", runE21},
 }
 
 func main() {

@@ -10,6 +10,7 @@
 //
 //	GET  /api/datasets   — registered data sets and layers
 //	POST /api/query      — {"stmt": "SELECT COUNT(*) FROM taxi, neighborhoods"}
+//	POST /api/append     — columnar point ingest; incremental structures are patched, not rebuilt
 //	POST /api/mapview    — choropleth for the map view
 //	POST /api/explore    — multi-data-set time series
 //	POST /api/rank       — neighborhood similarity ranking
@@ -57,6 +58,7 @@ import (
 	"repro/internal/geoblocks"
 	"repro/internal/gpu"
 	"repro/internal/segment"
+	"repro/internal/tcache"
 	"repro/internal/urbane"
 	"repro/internal/workload"
 )
@@ -96,6 +98,9 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 	geoBlocksMaxLevel := fs.Int("geoblocks-maxlevel", geoblocks.DefaultMaxLevel, "finest geoblocks pyramid level (2^L cells per side); higher = thinner fringes, more memory")
 	segments := fs.Bool("segments", false, "materialize every data set into a columnar segment file and execute ad-hoc queries block-at-a-time with zone-map pruning (out-of-core under -segment-cache-bytes)")
 	segCacheBytes := fs.Int64("segment-cache-bytes", segment.DefaultCacheBytes, "decoded-block cache budget per segment store in bytes; datasets larger than this stream from disk")
+	incremental := fs.Bool("incremental", true, "incremental temporal view maintenance: answer slab-aligned time windows as a fold of cached per-slab partials (needs -time-snap > 1, which sets the slab width)")
+	slabCacheBytes := fs.Int64("slab-cache-bytes", tcache.DefaultCacheBytes, "slab partial cache capacity in bytes")
+	maxSlabs := fs.Int("max-slabs", tcache.DefaultMaxSlabs, "max slabs one window may decompose into; wider windows use the one-shot path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +139,12 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr, wrap func(ht
 		f.EnableGeoBlocks(*geoBlocksMaxLevel)
 		log.Printf("geoblocks hierarchy enabled (maxlevel %d); indexes build lazily on first query per data set",
 			*geoBlocksMaxLevel)
+	}
+
+	if *incremental && *timeSnap > 1 {
+		f.EnableIncremental(*timeSnap, *slabCacheBytes, *maxSlabs)
+		log.Printf("incremental maintenance enabled: %ds slabs, %.1f MiB partial cache, <=%d slabs per window",
+			*timeSnap, float64(*slabCacheBytes)/(1<<20), *maxSlabs)
 	}
 
 	if *segments {

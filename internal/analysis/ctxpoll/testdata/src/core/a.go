@@ -77,3 +77,25 @@ func refineFringeNoPoll(ctx context.Context, c *canvas, fringe []int) error {
 	}
 	return ctx.Err()
 }
+
+func renderSlab(c *canvas, slab int) {}
+
+// patchPyramidNoPoll models the geoblocks append-patch sweep with its
+// strided poll deleted: per-appended-point cell rasterization over an
+// unbounded tail, nothing in the loop ever looks at ctx.
+func patchPyramidNoPoll(ctx context.Context, c *canvas, oldLen, n int) error {
+	for i := oldLen; i < n; i++ { // want "loop performs draw work but neither polls ctx.Err"
+		rasterizeCell(c, i)
+	}
+	return ctx.Err()
+}
+
+// foldSlabsNoDelegate models the slab-fold loop with the per-slab context
+// delegation dropped: each cached-window slab recomputes through the
+// render path, but the callee never receives ctx and the loop never polls.
+func foldSlabsNoDelegate(ctx context.Context, c *canvas, slabs []int) error {
+	for _, s := range slabs { // want "loop performs draw work but neither polls ctx.Err"
+		renderSlab(c, s)
+	}
+	return ctx.Err()
+}

@@ -90,3 +90,38 @@ func cleanStridedRefine(ctx context.Context, c *canvas, fringe []int) error {
 	}
 	return nil
 }
+
+// cleanPatchStridedPoll is the shipped pyramid-patch shape: the appended
+// tail is swept with the poll amortized to a stride, exactly like
+// PatchAppend's buildPollStride check — inside the loop, so compliant.
+func cleanPatchStridedPoll(ctx context.Context, c *canvas, oldLen, n int) error {
+	for i := oldLen; i < n; i++ {
+		if (i-oldLen)%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rasterizeCell(c, i)
+	}
+	return nil
+}
+
+func renderSlabCtx(ctx context.Context, c *canvas, slab int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	renderSlab(c, slab)
+	return nil
+}
+
+// cleanSlabFoldDelegated is the shipped slab-fold shape: each slab of the
+// window hands the request context to the per-slab recompute, so
+// cancellation propagates without an explicit poll in the fold loop.
+func cleanSlabFoldDelegated(ctx context.Context, c *canvas, slabs []int) error {
+	for _, s := range slabs {
+		if err := renderSlabCtx(ctx, c, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

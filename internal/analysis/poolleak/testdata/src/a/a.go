@@ -128,3 +128,34 @@ func leakRefinementAbort(ctx context.Context, d *Device, fringe []int) error {
 	c.Release()
 	return nil
 }
+
+// leakSlabFoldEarlyReturn models the incremental window fold's per-slab
+// recompute: a texture is acquired for each slab of the window, but the
+// fold's error path returns before that slab's release — under a canceled
+// slide every recomputed slab leaks.
+func leakSlabFoldEarlyReturn(ctx context.Context, d *Device, slabs []int) error {
+	for range slabs {
+		tex := d.AcquireTexture(64, 64) // want "texture acquired here is not released on every path"
+		if err := doWork(ctx); err != nil {
+			return err // leak: this slab's texture is still live
+		}
+		d.ReleaseTexture(tex)
+	}
+	return nil
+}
+
+// leakPatchAbortPath models the pyramid-patch sweep holding one scratch
+// texture across the whole appended tail and forgetting the release on the
+// stride-amortized ctx-abort path.
+func leakPatchAbortPath(ctx context.Context, d *Device, n int) error {
+	tex := d.AcquireTexture(32, 32) // want "texture acquired here is not released on every path"
+	for i := 0; i < n; i++ {
+		if i%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err // leak: abort skips the scratch release
+			}
+		}
+	}
+	d.ReleaseTexture(tex)
+	return nil
+}

@@ -109,3 +109,33 @@ func cleanRefinementDefer(ctx context.Context, d *Device, fringe []int) error {
 	}
 	return nil
 }
+
+// cleanSlabFoldBothPaths is the corrected per-slab recompute: the slab's
+// texture is released on the fold's error path and on the happy path, so
+// a canceled slide unwinds with nothing live.
+func cleanSlabFoldBothPaths(ctx context.Context, d *Device, slabs []int) error {
+	for range slabs {
+		tex := d.AcquireTexture(64, 64)
+		if err := doWork(ctx); err != nil {
+			d.ReleaseTexture(tex)
+			return err
+		}
+		d.ReleaseTexture(tex)
+	}
+	return nil
+}
+
+// cleanPatchDefer is the corrected pyramid-patch sweep: the scratch
+// texture's deferred release covers the stride-amortized abort path.
+func cleanPatchDefer(ctx context.Context, d *Device, n int) error {
+	tex := d.AcquireTexture(32, 32)
+	defer d.ReleaseTexture(tex)
+	for i := 0; i < n; i++ {
+		if i%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

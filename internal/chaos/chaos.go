@@ -53,6 +53,14 @@ type Config struct {
 	// CancelFrac is the fraction of requests issued under an aggressive
 	// client deadline (0..2ms), exercising mid-compute cancellation.
 	CancelFrac float64
+	// Appends, when positive, runs one writer alongside the readers: a
+	// single goroutine issuing this many time-ordered ingest batches from
+	// workload.NewAppender(Mix, Seed). The ingest endpoint bypasses
+	// admission and the batches are generated in time order, so every
+	// append must come back 200 — anything else is a violation, because a
+	// dropped append makes the post-soak replay-vs-pristine comparison
+	// meaningless. ReplayAppends re-issues the identical sequence.
+	Appends int
 	// Mix names the catalog the generated requests target.
 	Mix workload.MixConfig
 }
@@ -161,7 +169,7 @@ func ValidateResponse(method, path string, status int, header http.Header, body 
 // validates every response. It returns once every request has completed —
 // a hang shows up as the caller's test timeout, which is the point.
 func Soak(ctx context.Context, h http.Handler, cfg Config) *Report {
-	reports := make([]*Report, cfg.VUs)
+	reports := make([]*Report, cfg.VUs+1)
 	var wg sync.WaitGroup
 	for vu := 0; vu < cfg.VUs; vu++ {
 		wg.Add(1)
@@ -169,6 +177,15 @@ func Soak(ctx context.Context, h http.Handler, cfg Config) *Report {
 			defer wg.Done()
 			reports[vu] = soakVU(ctx, h, cfg, vu)
 		}(vu)
+	}
+	if cfg.Appends > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[cfg.VUs] = soakWriter(ctx, h, cfg)
+		}()
+	} else {
+		reports[cfg.VUs] = &Report{ByStatus: map[int]int{}, ByKind: map[string]int{}}
 	}
 	wg.Wait()
 	total := &Report{ByStatus: map[int]int{}, ByKind: map[string]int{}}
@@ -197,6 +214,30 @@ func soakVU(ctx context.Context, h http.Handler, cfg Config, vu int) *Report {
 		rep.ByKind[hr.Kind]++
 		if err := ValidateResponse(hr.Method, hr.Path, status, header, body); err != nil {
 			rep.violate(fmt.Sprintf("vu%d req%d: %v", vu, i, err))
+		}
+	}
+	return rep
+}
+
+// soakWriter is the single ingest population: cfg.Appends time-ordered
+// batches, issued with no client deadline (a canceled append would fork
+// the soaked server's state away from the replayed pristine one).
+func soakWriter(ctx context.Context, h http.Handler, cfg Config) *Report {
+	rep := &Report{ByStatus: map[int]int{}, ByKind: map[string]int{}}
+	app := workload.NewAppender(cfg.Mix, cfg.Seed)
+	for i := 0; i < cfg.Appends && ctx.Err() == nil; i++ {
+		hr := app.Next()
+		status, header, body := issue(ctx, h, hr, func() (context.Context, context.CancelFunc) {
+			return ctx, func() {}
+		})
+		rep.Total++
+		rep.ByStatus[status]++
+		rep.ByKind[hr.Kind]++
+		if err := ValidateResponse(hr.Method, hr.Path, status, header, body); err != nil {
+			rep.violate(fmt.Sprintf("writer req%d: %v", i, err))
+		}
+		if status != http.StatusOK {
+			rep.violate(fmt.Sprintf("writer req%d: append status %d: %s", i, status, body))
 		}
 	}
 	return rep
@@ -250,6 +291,26 @@ func Replay(h http.Handler, cfg workload.MixConfig, seed int64, n int) []Result 
 		})
 		out = append(out, Result{Kind: hr.Kind, Path: hr.Path, Status: status,
 			Body: normalizeBody(hr.Kind, status, body)})
+	}
+	return out
+}
+
+// ReplayAppends re-issues a soak's append sequence — the first n requests
+// of workload.NewAppender(cfg, seed) — sequentially against h. Feeding a
+// pristine server the same appends a soak's writer issued brings its data
+// to the exact state the soaked server reached, after which Replay of the
+// read mix against both must be byte-identical: the proof that concurrent
+// ingest never poisons a cache or leaves a view half-maintained.
+func ReplayAppends(h http.Handler, cfg workload.MixConfig, seed int64, n int) []Result {
+	app := workload.NewAppender(cfg, seed)
+	out := make([]Result, 0, n)
+	bg := context.Background()
+	for i := 0; i < n; i++ {
+		hr := app.Next()
+		status, _, body := issue(bg, h, hr, func() (context.Context, context.CancelFunc) {
+			return bg, func() {}
+		})
+		out = append(out, Result{Kind: hr.Kind, Path: hr.Path, Status: status, Body: body})
 	}
 	return out
 }

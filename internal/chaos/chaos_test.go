@@ -3,10 +3,14 @@ package chaos_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -44,6 +48,11 @@ func buildFramework(t testing.TB, dev *gpu.Device, segments bool) *urbane.Framew
 			ps.T[i] = int64(rng.Intn(8 * 3600))
 			fares[i] = rng.Float64() * 40
 		}
+		// Pin the world corners so the geoblocks hierarchy spans the full
+		// bounds: ingest soaks append uniform points over [0,1000]^2, and a
+		// point outside the built hierarchy's bbox forces a patch fallback.
+		ps.X[0], ps.Y[0] = 0, 0
+		ps.X[1], ps.Y[1] = 1000, 1000
 		ps.Attrs = []data.Column{{Name: "fare", Values: fares}}
 		ps.SortByTime()
 		return ps
@@ -219,6 +228,81 @@ func TestSoakCleanServer(t *testing.T) {
 	}
 	if rep.ByStatus[200] != rep.Total {
 		t.Errorf("clean soak not all-200: %s", rep)
+	}
+}
+
+// TestIngestSoakReplay is the concurrent-ingest counterpart of
+// TestChaosSoak: readers hammer the cached endpoints while a writer
+// streams appends, and afterwards a pristine server is fed the identical
+// append sequence sequentially (ReplayAppends). Replaying the read mix
+// against both must be byte-identical — concurrent maintenance (epoch
+// sweeps, slab rekeys, geoblocks patches) may never leave the soaked
+// server answering differently than a server that ingested at leisure.
+func TestIngestSoakReplay(t *testing.T) {
+	const appends = 24
+	cfg := mixConfig()
+	mkServer := func() *urbane.Server {
+		f := buildFramework(t, gpu.New(), false)
+		f.EnableIncremental(1800, 0, 0)
+		return urbane.NewServer(f, urbane.WithCache(8<<20), urbane.WithTimeSnap(1800))
+	}
+	// Warm the geoblocks hierarchy for every data set on both servers
+	// before any ingest. A patched pyramid and a rebuilt one agree only to
+	// float tolerance (merge order differs), so the byte-identical claim
+	// needs both servers to start from the same built base and then apply
+	// the identical patch sequence — exactly what ReplayAppends feeds.
+	warm := func(h http.Handler) {
+		for _, ds := range cfg.Datasets {
+			body := fmt.Sprintf(`{"dataset":%q,"ring":[[100,100],[900,100],[900,900],[100,900]],"agg":"count"}`, ds)
+			req := httptest.NewRequest(http.MethodPost, "/api/polygon", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("warm polygon %s: status %d: %s", ds, rec.Code, rec.Body)
+			}
+		}
+	}
+
+	soaked := mkServer()
+	warm(soaked)
+	rep := chaos.Soak(context.Background(), soaked, chaos.Config{
+		VUs: 6, Requests: 15, Seed: 21, Appends: appends, Mix: cfg,
+	})
+	t.Logf("ingest soak: %s", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("contract violation: %s", v)
+	}
+	if rep.ByKind["append"] != appends {
+		t.Fatalf("writer issued %d appends, want %d", rep.ByKind["append"], appends)
+	}
+
+	pristine := mkServer()
+	warm(pristine)
+	for i, r := range chaos.ReplayAppends(pristine, cfg, 21, appends) {
+		if r.Status != 200 {
+			t.Fatalf("pristine append %d: status %d: %s", i, r.Status, r.Body)
+		}
+		// The warmed hierarchy must patch, not fall back: a fallback would
+		// fork the pyramid's float state away from the soaked server's.
+		if !bytes.Contains(r.Body, []byte(`"geoBlocksPatched":true`)) {
+			t.Errorf("pristine append %d did not patch the hierarchy: %s", i, r.Body)
+		}
+	}
+
+	const replayN = 80
+	got := chaos.Replay(soaked, cfg, 4242, replayN)
+	want := chaos.Replay(pristine, cfg, 4242, replayN)
+	for i := range got {
+		if got[i].Status != want[i].Status {
+			t.Errorf("replay %d (%s %s): status %d vs pristine %d",
+				i, got[i].Kind, got[i].Path, got[i].Status, want[i].Status)
+			continue
+		}
+		if !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Errorf("replay %d (%s %s): body diverged after concurrent ingest (%d vs %d bytes)",
+				i, got[i].Kind, got[i].Path, len(got[i].Body), len(want[i].Body))
+		}
 	}
 }
 

@@ -200,6 +200,51 @@ func (ps *PointSet) SortByTime() {
 	ps.source.Store(nil)
 }
 
+// AppendCOW returns a new PointSet holding ps's points followed by tail's,
+// without copying ps's columns when spare capacity allows: the new set is
+// built with append, so it shares ps's backing arrays and writes only
+// beyond ps's length. Concurrent readers of ps are safe — they hold slice
+// headers whose length stops at the old point count and never index past
+// it — which is what lets the framework's Append swap in the grown set
+// while queries over the old snapshot are still running.
+//
+// tail must match ps's schema exactly: the same presence of a time column
+// and the same attribute columns in the same order. ps itself is not
+// modified and keeps serving its old length; the returned set is unstamped,
+// so stamp-keyed caches (geoblocks, slab partials) treat it as new data.
+func (ps *PointSet) AppendCOW(tail *PointSet) (*PointSet, error) {
+	if err := tail.Validate(); err != nil {
+		return nil, err
+	}
+	if (ps.T != nil) != (tail.T != nil) {
+		return nil, fmt.Errorf("data: %q: append tail time column mismatch (base has time: %v)",
+			ps.Name, ps.T != nil)
+	}
+	if len(tail.Attrs) != len(ps.Attrs) {
+		return nil, fmt.Errorf("data: %q: append tail has %d attributes, base has %d",
+			ps.Name, len(tail.Attrs), len(ps.Attrs))
+	}
+	for i := range ps.Attrs {
+		if tail.Attrs[i].Name != ps.Attrs[i].Name {
+			return nil, fmt.Errorf("data: %q: append tail attribute %d is %q, base has %q",
+				ps.Name, i, tail.Attrs[i].Name, ps.Attrs[i].Name)
+		}
+	}
+	out := &PointSet{
+		Name: ps.Name,
+		X:    append(ps.X, tail.X...),
+		Y:    append(ps.Y, tail.Y...),
+	}
+	if ps.T != nil {
+		out.T = append(ps.T, tail.T...)
+	}
+	out.Attrs = make([]Column, len(ps.Attrs))
+	for i, c := range ps.Attrs {
+		out.Attrs[i] = Column{Name: c.Name, Values: append(c.Values, tail.Attrs[i].Values...)}
+	}
+	return out, nil
+}
+
 // TimeWindow returns the index range [lo, hi) of points with timestamps in
 // [start, end), assuming the set is sorted by time.
 func (ps *PointSet) TimeWindow(start, end int64) (lo, hi int) {

@@ -72,6 +72,16 @@ type Index struct {
 	start []int32
 	order []int32
 
+	// baseLen is the number of points the base CSR covers. A freshly built
+	// index covers everything (baseLen == Len()); an index produced by
+	// PatchAppend keeps the base CSR shared and lists ids >= baseLen in the
+	// tail CSR below, nil on freshly built indexes. A cell's candidates are
+	// its base ids followed by its tail ids — increasing index order, the
+	// same enumeration a rebuild's counting sort yields.
+	baseLen   int
+	tailStart []int32
+	tailOrder []int32
+
 	// counts[L][cy*side_L+cx] is the number of points in the cell.
 	counts [][]int64
 	attrs  map[string]*attrPyr
@@ -146,6 +156,7 @@ func BuildContext(ctx context.Context, ps *data.PointSet, maxLevel int) (*Index,
 	for c := 0; c < cells; c++ {
 		ix.start[c+1] += ix.start[c]
 	}
+	ix.baseLen = n
 	ix.order = make([]int32, n)
 	cursor := make([]int32, cells)
 	for i := 0; i < n; i++ {
@@ -315,8 +326,12 @@ func (ix *Index) Len() int {
 	if ix.empty {
 		return 0
 	}
-	return len(ix.order)
+	return len(ix.order) + len(ix.tailOrder)
 }
+
+// TailLen returns the number of points held by the tail CSR — zero for a
+// freshly built index, the appended-point count for a patched one.
+func (ix *Index) TailLen() int { return len(ix.tailOrder) }
 
 // CellWidth returns the finest-level cell's world width.
 func (ix *Index) CellWidth() float64 {
@@ -334,7 +349,7 @@ func (ix *Index) Attrs() []string {
 
 // Bytes estimates the resident size of the hierarchy.
 func (ix *Index) Bytes() int {
-	b := len(ix.start)*4 + len(ix.order)*4
+	b := len(ix.start)*4 + len(ix.order)*4 + len(ix.tailStart)*4 + len(ix.tailOrder)*4
 	for _, l := range ix.counts {
 		b += len(l) * 8
 	}

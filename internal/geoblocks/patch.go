@@ -1,0 +1,207 @@
+package geoblocks
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/fsum"
+	"repro/internal/geom"
+)
+
+// PatchAppend returns a new Index over newPS — which must be ix's point set
+// plus appended points (the framework's copy-on-write append) — without
+// rebuilding the pyramid: it computes aggregate pyramids over only the
+// appended tail and merges them into the base cell by cell. Counts add
+// exactly and min/max update monotonically, so both stay bit-identical to a
+// from-scratch rebuild; sums merge one compensated tail partial into one
+// compensated base partial with a single add per cell, which carries the
+// same ε bound the package documents for SUM against the raster join.
+//
+// The base CSR is shared untouched; appended points live in a separate tail
+// CSR over ids >= baseLen. Because ids are assigned in index order, a cell's
+// candidates — base ids then tail ids — enumerate in exactly the order a
+// rebuild's counting sort would produce, so fringe refinement stays
+// bit-identical to a rebuilt index for every aggregate.
+//
+// Patching refuses (returns an error, caller falls back to a lazy rebuild)
+// when the base is empty, when any appended point falls outside the grid
+// bounds (clamping it into an edge cell would let interior-cell folds count
+// points the cell box does not contain), or when the accumulated tail
+// outgrows the base (a rebuild re-balances the CSR instead of letting fringe
+// refinement degrade).
+func (ix *Index) PatchAppend(ctx context.Context, newPS *data.PointSet) (*Index, error) {
+	if ix.empty {
+		return nil, fmt.Errorf("geoblocks: patch: base index is empty")
+	}
+	if err := newPS.Validate(); err != nil {
+		return nil, err
+	}
+	oldLen, n := ix.Len(), newPS.Len()
+	if n <= oldLen {
+		return nil, fmt.Errorf("geoblocks: patch: new set has %d points, base indexed %d", n, oldLen)
+	}
+	if n-ix.baseLen > ix.baseLen {
+		return nil, fmt.Errorf("geoblocks: patch: tail (%d points) outgrew base (%d)",
+			n-ix.baseLen, ix.baseLen)
+	}
+	for i := oldLen; i < n; i++ {
+		if (i-oldLen)%buildPollStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !ix.bounds.Contains(geom.Point{X: newPS.X[i], Y: newPS.Y[i]}) {
+			return nil, fmt.Errorf("geoblocks: patch: appended point %d (%g, %g) outside grid bounds %v",
+				i, newPS.X[i], newPS.Y[i], ix.bounds)
+		}
+	}
+
+	out := &Index{
+		ps:       newPS,
+		bounds:   ix.bounds,
+		maxLevel: ix.maxLevel,
+		eps:      ix.eps,
+		baseLen:  ix.baseLen,
+		start:    ix.start,
+		order:    ix.order,
+		attrs:    make(map[string]*attrPyr, len(ix.attrs)),
+		finW:     ix.finW,
+		finH:     ix.finH,
+	}
+	side := 1 << ix.maxLevel
+	cells := side * side
+
+	// Tail CSR over every post-base point (previous tails included, so a
+	// patched index can be patched again).
+	tn := n - ix.baseLen
+	out.tailStart = make([]int32, cells+1)
+	tailCell := make([]int32, tn)
+	for i := 0; i < tn; i++ {
+		if i%buildPollStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		c := out.finestCell(newPS.X[ix.baseLen+i], newPS.Y[ix.baseLen+i])
+		tailCell[i] = c
+		out.tailStart[c+1]++
+	}
+	for c := 0; c < cells; c++ {
+		out.tailStart[c+1] += out.tailStart[c]
+	}
+	out.tailOrder = make([]int32, tn)
+	cursor := make([]int32, cells)
+	for i := 0; i < tn; i++ {
+		c := tailCell[i]
+		out.tailOrder[out.tailStart[c]+cursor[c]] = int32(ix.baseLen + i)
+		cursor[c]++
+	}
+
+	// Delta count pyramid over only the newly appended ids [oldLen, n),
+	// reduced with the same machinery as a build, then merged exactly.
+	dfin := make([]int64, cells)
+	for i := oldLen; i < n; i++ {
+		dfin[out.finestCell(newPS.X[i], newPS.Y[i])]++
+	}
+	dcounts := make([][]int64, ix.maxLevel+1)
+	dcounts[ix.maxLevel] = dfin
+	for l := ix.maxLevel - 1; l >= 0; l-- {
+		dcounts[l] = reduceCounts(dcounts[l+1], 1<<(l+1))
+	}
+	out.counts = make([][]int64, ix.maxLevel+1)
+	for l := range out.counts {
+		merged := make([]int64, len(ix.counts[l]))
+		copy(merged, ix.counts[l])
+		for c, d := range dcounts[l] {
+			merged[c] += d
+		}
+		out.counts[l] = merged
+	}
+
+	// Per-attribute delta pyramids. The finest-level delta groups the new
+	// points per cell in id order (walking the tail CSR and skipping ids the
+	// base pyramid already holds), so repeated patches accumulate in the
+	// same deterministic order the appends arrived in.
+	for name, ap := range ix.attrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		col := newPS.Attr(name)
+		if col == nil {
+			return nil, fmt.Errorf("geoblocks: patch: new set lost attribute %q", name)
+		}
+		dsums := make([]float64, cells)
+		dmins := make([]float64, cells)
+		dmaxs := make([]float64, cells)
+		for c := 0; c < cells; c++ {
+			lo, hi := out.tailStart[c], out.tailStart[c+1]
+			if lo == hi {
+				continue
+			}
+			var ks fsum.Kahan
+			mn, mx := math.Inf(1), math.Inf(-1)
+			any := false
+			for _, id := range out.tailOrder[lo:hi] {
+				if int(id) < oldLen {
+					continue
+				}
+				v := col[id]
+				ks.Add(v)
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+				any = true
+			}
+			if !any {
+				continue
+			}
+			dsums[c], dmins[c], dmaxs[c] = ks.Sum(), mn, mx
+		}
+		dS := make([][]float64, ix.maxLevel+1)
+		dM := make([][]float64, ix.maxLevel+1)
+		dX := make([][]float64, ix.maxLevel+1)
+		dS[ix.maxLevel], dM[ix.maxLevel], dX[ix.maxLevel] = dsums, dmins, dmaxs
+		for l := ix.maxLevel - 1; l >= 0; l-- {
+			dS[l], dM[l], dX[l] = reduceAttr(dS[l+1], dM[l+1], dX[l+1], dcounts[l+1], 1<<(l+1))
+		}
+
+		nap := &attrPyr{
+			col:  col,
+			sums: make([][]float64, ix.maxLevel+1),
+			mins: make([][]float64, ix.maxLevel+1),
+			maxs: make([][]float64, ix.maxLevel+1),
+		}
+		for l := 0; l <= ix.maxLevel; l++ {
+			ms := append([]float64(nil), ap.sums[l]...)
+			mmn := append([]float64(nil), ap.mins[l]...)
+			mmx := append([]float64(nil), ap.maxs[l]...)
+			for c, d := range dcounts[l] {
+				if d == 0 {
+					continue
+				}
+				if ix.counts[l][c] == 0 {
+					// The cell was empty before the append: the delta partial
+					// is the whole cell, no merge rounding at all.
+					ms[c], mmn[c], mmx[c] = dS[l][c], dM[l][c], dX[l][c]
+					continue
+				}
+				//lint:ignore floataccum exactly one add per cell per patch: delta partial into base partial, the documented single-merge ε bound
+				ms[c] += dS[l][c]
+				if dM[l][c] < mmn[c] {
+					mmn[c] = dM[l][c]
+				}
+				if dX[l][c] > mmx[c] {
+					mmx[c] = dX[l][c]
+				}
+			}
+			nap.sums[l], nap.mins[l], nap.maxs[l] = ms, mmn, mmx
+		}
+		out.attrs[name] = nap
+	}
+	return out, nil
+}

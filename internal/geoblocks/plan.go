@@ -159,21 +159,12 @@ func (ix *Index) RegionStat(ctx context.Context, pg geom.Polygon, pl Plan, ap *a
 			}
 		}
 		i := int(c.Y)*side + int(c.X)
-		for _, id := range ix.order[ix.start[i]:ix.start[i+1]] {
-			if !pg.Contains(geom.Point{X: ix.ps.X[id], Y: ix.ps.Y[id]}) {
-				continue
-			}
-			cnt++
-			if ap != nil {
-				v := ap.col[id]
-				ks.Add(v)
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
+		refine(ix, pg, ix.order[ix.start[i]:ix.start[i+1]], ap, &cnt, &ks, &mn, &mx)
+		if ix.tailStart != nil {
+			// A patched index keeps appended points in a separate tail CSR;
+			// base-then-tail enumeration is increasing id order, matching a
+			// rebuilt index bit for bit.
+			refine(ix, pg, ix.tailOrder[ix.tailStart[i]:ix.tailStart[i+1]], ap, &cnt, &ks, &mn, &mx)
 		}
 	}
 
@@ -188,6 +179,27 @@ func (ix *Index) RegionStat(ctx context.Context, pg geom.Polygon, pl Plan, ap *a
 	return st, nil
 }
 
+// refine runs the exact point-in-polygon test over one fringe cell's
+// candidate id list, folding survivors into the caller's aggregate state.
+func refine(ix *Index, pg geom.Polygon, ids []int32, ap *attrPyr, cnt *int64, ks *fsum.Kahan, mn, mx *float64) {
+	for _, id := range ids {
+		if !pg.Contains(geom.Point{X: ix.ps.X[id], Y: ix.ps.Y[id]}) {
+			continue
+		}
+		*cnt++
+		if ap != nil {
+			v := ap.col[id]
+			ks.Add(v)
+			if v < *mn {
+				*mn = v
+			}
+			if v > *mx {
+				*mx = v
+			}
+		}
+	}
+}
+
 // FringePoints returns the number of candidate points the plan's fringe
 // cells hold — the refinement workload.
 func (ix *Index) FringePoints(pl Plan) int {
@@ -199,6 +211,9 @@ func (ix *Index) FringePoints(pl Plan) int {
 	for _, c := range pl.Fringe {
 		i := int(c.Y)*side + int(c.X)
 		n += int(ix.start[i+1] - ix.start[i])
+		if ix.tailStart != nil {
+			n += int(ix.tailStart[i+1] - ix.tailStart[i])
+		}
 	}
 	return n
 }

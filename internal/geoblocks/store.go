@@ -22,9 +22,11 @@ type Store struct {
 	gen     uint64
 	entries map[uint64]*storeEntry
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	invalidations atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	invalidations  atomic.Uint64
+	patches        atomic.Uint64
+	patchFallbacks atomic.Uint64
 }
 
 type storeEntry struct {
@@ -106,23 +108,68 @@ func (s *Store) Get(ctx context.Context, ps *data.PointSet) (*Index, error) {
 	}
 }
 
+// Patch migrates the cached hierarchy for oldPS to newPS — which must be
+// oldPS plus appended points — by PatchAppend instead of a rebuild, and
+// reports whether a patched index is now cached under newPS's stamp. The
+// old entry is always retired: when no completed hierarchy exists (never
+// built, build in flight for the obsolete snapshot, or PatchAppend refuses
+// — out-of-bounds points, outgrown tail) the entry is simply dropped and
+// the next query lazily rebuilds from scratch. A Get racing the retirement
+// may briefly resurrect an entry under the old stamp; it is never read
+// again and the next generation sweep reclaims it.
+func (s *Store) Patch(ctx context.Context, oldPS, newPS *data.PointSet) bool {
+	s.mu.Lock()
+	e, ok := s.entries[oldPS.Stamp()]
+	if ok {
+		delete(s.entries, oldPS.Stamp())
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+	default:
+		return false // build still in flight for the obsolete snapshot
+	}
+	if e.err != nil {
+		return false
+	}
+	idx, err := e.idx.PatchAppend(ctx, newPS)
+	if err != nil {
+		s.patchFallbacks.Add(1)
+		return false
+	}
+	ne := &storeEntry{done: make(chan struct{}), idx: idx}
+	close(ne.done)
+	s.mu.Lock()
+	s.entries[newPS.Stamp()] = ne
+	s.mu.Unlock()
+	s.patches.Add(1)
+	return true
+}
+
 // Stats is a point-in-time snapshot of store behavior.
 type Stats struct {
-	Entries       int    `json:"entries"`
-	Bytes         int    `json:"bytes"`
-	Hits          uint64 `json:"hits"`
-	Misses        uint64 `json:"misses"`
-	Invalidations uint64 `json:"invalidations"`
-	MaxLevel      int    `json:"maxLevel"`
+	Entries        int    `json:"entries"`
+	Bytes          int    `json:"bytes"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Invalidations  uint64 `json:"invalidations"`
+	Patches        uint64 `json:"patches"`
+	PatchFallbacks uint64 `json:"patchFallbacks"`
+	MaxLevel       int    `json:"maxLevel"`
 }
 
 // Stats returns a snapshot. Bytes only counts completed builds.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		Invalidations: s.invalidations.Load(),
-		MaxLevel:      s.maxLevel,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Invalidations:  s.invalidations.Load(),
+		Patches:        s.patches.Load(),
+		PatchFallbacks: s.patchFallbacks.Load(),
+		MaxLevel:       s.maxLevel,
 	}
 	s.mu.Lock()
 	st.Entries = len(s.entries)

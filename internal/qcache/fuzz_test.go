@@ -1,10 +1,15 @@
-package qcache
+// This file is an external test package (qcache_test, not qcache): it
+// imports internal/query, which reaches qcache again through the slab-fold
+// joiner's cache keys — an import cycle if these tests compiled into the
+// package proper.
+package qcache_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/qcache"
 	"repro/internal/query"
 )
 
@@ -31,9 +36,9 @@ var cacheKeyCorpus = []string{
 // filter set, snap the time window, re-render, and key the quoted
 // statement.
 func canonicalKey(q query.Query, snap int64) (string, query.Query) {
-	q.Filters = CanonFilters(q.Filters)
-	q.Time = SnapTime(q.Time, snap)
-	return NewSig("query").Str("stmt", q.String()).Key(), q
+	q.Filters = qcache.CanonFilters(q.Filters)
+	q.Time = qcache.SnapTime(q.Time, snap)
+	return qcache.NewSig("query").Str("stmt", q.String()).Key(), q
 }
 
 // floatEq compares filter bounds the way the canonical encoding does: all

@@ -74,6 +74,23 @@ func (s *Sig) Filters(name string, fs []core.Filter) *Sig {
 	return s
 }
 
+// Epoch appends the dataset's per-dataset epoch pair. Keys carry the
+// epoch so a write to one dataset produces fresh keys for that dataset
+// alone — the generation stays put and every other dataset's entries
+// remain reachable. The pair renders as `|eds="name"|ep=N`, which is what
+// EpochPrefix matches for targeted sweeps.
+func (s *Sig) Epoch(dataset string, epoch uint64) *Sig {
+	return s.Str("eds", dataset).Int("ep", int64(epoch))
+}
+
+// EpochPrefix returns the substring every key tagged with
+// Epoch(dataset, ·) contains up to (and excluding) the epoch number.
+// Sweep predicates use it to select one dataset's entries and spare the
+// ones already keyed at the current epoch.
+func EpochPrefix(dataset string) string {
+	return "|eds=" + strconv.Quote(dataset) + "|ep="
+}
+
 // TimeRange appends an optional time filter; presence is encoded
 // explicitly so "no filter" can never collide with any concrete window.
 func (s *Sig) TimeRange(name string, t *core.TimeFilter) *Sig {

@@ -382,6 +382,33 @@ func (c *Cache) wait(ctx context.Context, call *flightCall, own Outcome) (v []by
 	}
 }
 
+// Sweep removes every live entry whose key satisfies pred and returns how
+// many were dropped. It is the targeted-invalidation primitive behind
+// per-dataset epochs: an append bumps one dataset's epoch — making that
+// dataset's old-epoch keys unreachable — and Sweep reclaims their bytes
+// eagerly instead of waiting for LRU pressure. Unlike Invalidate it leaves
+// the generation untouched, so every other dataset's entries stay warm.
+// Sweep walks each shard under its lock; in-flight computes for swept keys
+// are unaffected (they re-insert under keys the predicate already judged).
+func (c *Cache) Sweep(pred func(key string) bool) int {
+	if c == nil || pred == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, el := range sh.items {
+			if pred(k) {
+				sh.removeLocked(el)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Invalidate drops the whole cache in O(1) by bumping the generation;
 // stale entries are reclaimed lazily on access.
 func (c *Cache) Invalidate() {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/data"
 	"repro/internal/geoblocks"
+	"repro/internal/tcache"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,12 @@ type Planner struct {
 	// stored aggregates, boundary fringe refined exactly). Consulted
 	// after the cubes and before the raster engine.
 	GeoBlocks *geoblocks.Engine
+	// Slabs, when non-nil, answers slab-aligned time-windowed aggregation
+	// as a chronological fold of cached slab partials (incremental temporal
+	// view maintenance). Consulted after geoblocks — which rejects
+	// time-filtered requests, so the two never compete — and before the
+	// raster engine.
+	Slabs *tcache.Joiner
 	// Raster answers everything the cubes cannot. Required.
 	Raster *core.RasterJoin
 	// Exact, when non-nil, replaces Raster for queries that demand exact
@@ -99,6 +106,10 @@ func (pl *Planner) Plan(q Query, cat Catalog) (*Plan, error) {
 	if pl.GeoBlocks != nil && pl.Exact == nil && pl.GeoBlocks.CanServe(req) == nil {
 		return &Plan{Query: q, Request: req, Joiner: pl.GeoBlocks,
 			Reason: "unfiltered polygon aggregation served from geoblocks hierarchy"}, nil
+	}
+	if pl.Slabs != nil && pl.Exact == nil && pl.Slabs.CanServe(req) == nil {
+		return &Plan{Query: q, Request: req, Joiner: pl.Slabs,
+			Reason: "time-windowed aggregation folded from cached slab partials"}, nil
 	}
 	if pl.Raster == nil {
 		return nil, fmt.Errorf("query: no engine can serve %q", q.String())

@@ -1,0 +1,237 @@
+// Package tcache implements incremental temporal view maintenance: it
+// decomposes a time-windowed aggregation query into canonical slice-aligned
+// slabs (the same outward snapping the server's -time-snap applies, so
+// snapped windows are automatically slab-aligned), caches the partial
+// aggregate of each (query signature, slab) pair, and answers a window as a
+// deterministic chronological fold of slab partials.
+//
+// The fold merges, never subtracts: sliding a window forward computes one
+// new slab and reuses the rest, and an append to the underlying data set
+// dirties only the slab(s) the new points' timestamps land in — every other
+// partial stays byte-identical, because a slab partial is a pure function
+// of (points inside the slab window, regions, aggregate, attribute,
+// filters, canvas configuration) and the raster canvas transform derives
+// from the region bounds alone.
+//
+// Determinism contract (DESIGN.md "Merge-not-subtract slab folding"): a
+// warm fold is bit-identical to a cold fold of the same window — per-slab
+// computes are deterministic and the merge order is fixed chronological
+// with a compensated sum per region. Versus the legacy one-shot join over
+// the whole window, COUNT and the requested MIN/MAX side are bit-identical
+// (order-independent folds over the same membership) while SUM/AVG carry
+// the same ε bound the geoblocks hierarchy documents: both sides are
+// compensated but group terms differently. The unrequested min/max side of
+// a raster RegionStat (max-of-per-pixel-mins and vice versa) does not
+// decompose across slabs; it never reaches a response, and the fold keeps
+// it deterministic but makes no cross-path promise about it.
+//
+// Entries are keyed by the PointSet's identity stamp, so an append —
+// which produces a new stamp — cannot serve stale partials; Rekey migrates
+// the clean slabs of the old stamp to the new one and drops the dirty ones.
+package tcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DefaultCacheBytes bounds the slab partial cache when no option overrides
+// it. Partials are small (one RegionStat per region), so this holds
+// thousands of slabs even over the census-tract layer.
+const DefaultCacheBytes = 32 << 20
+
+// DefaultMaxSlabs caps how many slabs one window may decompose into;
+// windows wider than the cap fall through to the legacy one-shot path,
+// bounding both fold fan-out and cache churn from pathological windows.
+const DefaultMaxSlabs = 64
+
+// SlabOf returns the start of the slab containing timestamp t at
+// granularity gran (> 0): floor division toward negative infinity, the
+// same rule qcache.SnapTime applies to window starts.
+func SlabOf(t, gran int64) int64 {
+	q := t / gran
+	if t%gran != 0 && t < 0 {
+		q--
+	}
+	return q * gran
+}
+
+// Partial is one cached slab partial: the per-region aggregate state of the
+// query restricted to the slab's time window, plus the execution metadata
+// the fold reproduces on the final Result. Callers must treat Stats as
+// immutable — partials are shared between cache entries and folds.
+type Partial struct {
+	Stats            []core.RegionStat
+	Algorithm        string
+	CanvasW, CanvasH int
+	Tiles            int
+	PixelSize        float64
+}
+
+// partialOverhead approximates fixed per-entry bookkeeping (map slot, list
+// element, headers) charged on top of the stats payload.
+const partialOverhead = 192
+
+func (p *Partial) cost(sigLen int) int64 {
+	return int64(len(p.Stats))*32 + int64(sigLen) + partialOverhead
+}
+
+// key identifies one slab partial: the data snapshot (stamp), the query
+// shape (sig), and the slab start. The slab width is the owning Joiner's
+// granularity, which participates in sig.
+type key struct {
+	stamp uint64
+	sig   string
+	slab  int64
+}
+
+type entry struct {
+	k    key
+	p    *Partial
+	cost int64
+}
+
+// Stats is a point-in-time snapshot of cache counters; the server surfaces
+// it under /api/stats.
+type Stats struct {
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Capacity   int64  `json:"capacityBytes"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	RekeyDrops uint64 `json:"rekeyDrops"`
+}
+
+// Cache is a byte-bounded LRU of slab partials; safe for concurrent use.
+// It is deliberately a single-lock LRU: slab lookups are a few map probes
+// per query, orders of magnitude cheaper than the joins they save, so
+// sharding would buy nothing.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[key]*list.Element
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	rekeyDrops atomic.Uint64
+}
+
+// NewCache returns a cache bounded to capacityBytes (<= 0 uses
+// DefaultCacheBytes).
+func NewCache(capacityBytes int64) *Cache {
+	if capacityBytes <= 0 {
+		capacityBytes = DefaultCacheBytes
+	}
+	return &Cache{cap: capacityBytes, ll: list.New(), items: make(map[key]*list.Element)}
+}
+
+// removeLocked drops the element; c.mu must be held.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(c.items, e.k)
+	c.ll.Remove(el)
+	c.bytes -= e.cost
+}
+
+// Get returns the cached partial for (stamp, sig, slab).
+func (c *Cache) Get(stamp uint64, sig string, slab int64) (*Partial, bool) {
+	k := key{stamp: stamp, sig: sig, slab: slab}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*entry).p, true
+}
+
+// Put stores a partial, evicting least-recently-used entries to stay under
+// the byte budget.
+func (c *Cache) Put(stamp uint64, sig string, slab int64, p *Partial) {
+	k := key{stamp: stamp, sig: sig, slab: slab}
+	cost := p.cost(len(sig))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.removeLocked(el) // replacement, not an eviction
+	}
+	if cost > c.cap {
+		return
+	}
+	for c.bytes+cost > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Add(1)
+	}
+	c.items[k] = c.ll.PushFront(&entry{k: k, p: p, cost: cost})
+	c.bytes += cost
+}
+
+// Rekey migrates the entries of oldStamp to newStamp, dropping the slabs
+// the dirty set names — the append-invalidation primitive. Partials for
+// slabs no appended timestamp landed in stay byte-identical under the new
+// snapshot (the appended tail is excluded by their time windows and the
+// surviving points keep their index order), so they move; dirtied slabs
+// are evicted and recompute lazily. Returns (migrated, dropped).
+//
+// Computes in flight during a Rekey insert under the stamp they read when
+// they started; entries orphaned under the old stamp are never read again
+// and age out of the LRU — a bounded perf loss, never a staleness bug.
+func (c *Cache) Rekey(oldStamp, newStamp uint64, dirty map[int64]bool) (migrated, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, el := range c.items {
+		if k.stamp != oldStamp {
+			continue
+		}
+		if dirty[k.slab] {
+			c.removeLocked(el)
+			dropped++
+			continue
+		}
+		e := el.Value.(*entry)
+		c.removeLocked(el)
+		nk := key{stamp: newStamp, sig: k.sig, slab: k.slab}
+		c.items[nk] = c.ll.PushFront(&entry{k: nk, p: e.p, cost: e.cost})
+		c.bytes += e.cost
+		migrated++
+	}
+	c.rekeyDrops.Add(uint64(dropped))
+	return migrated, dropped
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		RekeyDrops: c.rekeyDrops.Load(),
+	}
+	c.mu.Lock()
+	s.Entries = len(c.items)
+	s.Bytes = c.bytes
+	s.Capacity = c.cap
+	c.mu.Unlock()
+	return s
+}

@@ -1,0 +1,272 @@
+package urbane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// appendBody builds a POST /api/append body of n points for the test
+// framework's schema (x, y, t, fare), with timestamps starting at t0.
+func appendBody(dataset string, n int, t0 int64) map[string]any {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	ts := make([]int64, n)
+	fare := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 100 + float64(i%17)*37
+		y[i] = 200 + float64(i%13)*41
+		ts[i] = t0 + int64(i)
+		fare[i] = float64(i%40) + 0.25
+	}
+	return map[string]any{
+		"dataset": dataset, "x": x, "y": y, "t": ts,
+		"attrs": map[string]any{"fare": fare},
+	}
+}
+
+func postAppend(t *testing.T, s *Server, body map[string]any) appendResponse {
+	t.Helper()
+	rec := doJSON(t, s, http.MethodPost, "/api/append", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp appendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAppendEpochIsolation is the per-data-set invalidation regression:
+// appending to taxi must evict taxi's cached responses (via its epoch) and
+// leave 311's entries warm, with the ETag rolling for taxi tiles only.
+func TestAppendEpochIsolation(t *testing.T) {
+	s, f := testServer(t)
+	taxiReq := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	c311Req := map[string]any{"dataset": "311", "layer": "nbhd", "agg": "count"}
+
+	// Warm both data sets, and grab tile validators for both.
+	for _, body := range []map[string]any{taxiReq, c311Req} {
+		if rec := doJSON(t, s, http.MethodPost, "/api/mapview", body); rec.Code != 200 {
+			t.Fatalf("warmup status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	taxiTile := doJSON(t, s, http.MethodGet, "/api/tile/0/0/0.png?dataset=taxi", nil)
+	c311Tile := doJSON(t, s, http.MethodGet, "/api/tile/0/0/0.png?dataset=311", nil)
+	taxiETag, c311ETag := taxiTile.Header().Get("ETag"), c311Tile.Header().Get("ETag")
+
+	epochBefore := f.Epoch("taxi")
+	lenBefore, _ := f.PointSet("taxi")
+
+	resp := postAppend(t, s, appendBody("taxi", 5, 9*3600))
+	if resp.Appended != 5 || resp.Len != lenBefore.Len()+5 {
+		t.Fatalf("append response = %+v", resp)
+	}
+	if resp.Epoch != epochBefore+1 || f.Epoch("taxi") != epochBefore+1 {
+		t.Fatalf("epoch did not advance: %+v (framework %d)", resp, f.Epoch("taxi"))
+	}
+	if f.Epoch("311") != 1 {
+		t.Fatalf("311 epoch moved to %d on a taxi append", f.Epoch("311"))
+	}
+	// The eager sweep reclaimed taxi's stale entries (mapview + tile at
+	// least) and reported them.
+	if resp.Swept < 2 {
+		t.Fatalf("swept = %d, want >= 2 (mapview + tile)", resp.Swept)
+	}
+
+	// 311 stays warm: its next identical request is a cache hit.
+	rec := doJSON(t, s, http.MethodPost, "/api/mapview", c311Req)
+	if got := rec.Header().Get("X-Urbane-Cache"); got != "hit" {
+		t.Fatalf("311 outcome after taxi append = %q, want hit", got)
+	}
+	// taxi recomputes: new epoch, new key, and the count reflects the tail.
+	rec = doJSON(t, s, http.MethodPost, "/api/mapview", taxiReq)
+	if got := rec.Header().Get("X-Urbane-Cache"); got != "miss" {
+		t.Fatalf("taxi outcome after append = %q, want miss", got)
+	}
+
+	// taxi's tile validator rolled; 311's still revalidates to 304.
+	req := httptest.NewRequest(http.MethodGet, "/api/tile/0/0/0.png?dataset=taxi", nil)
+	req.Header.Set("If-None-Match", taxiETag)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("taxi tile after append = %d, want 200 (ETag must roll)", w.Code)
+	}
+	if newTag := w.Header().Get("ETag"); newTag == taxiETag {
+		t.Fatal("taxi tile ETag did not roll on append")
+	}
+	req = httptest.NewRequest(http.MethodGet, "/api/tile/0/0/0.png?dataset=311", nil)
+	req.Header.Set("If-None-Match", c311ETag)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("311 tile after taxi append = %d, want 304 (entry stays warm)", w.Code)
+	}
+
+	// The stats endpoint surfaces the eviction counter.
+	var st statsResponse
+	rec = doJSON(t, s, http.MethodGet, "/api/stats", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Incremental.EpochEvictions != uint64(resp.Swept) {
+		t.Errorf("stats epochEvictions = %d, want %d", st.Incremental.EpochEvictions, resp.Swept)
+	}
+}
+
+// TestAppendSlabMigration is the warm-slide story end to end: with the
+// slab fold enabled, an append dirties only the slab its timestamps land
+// in; re-asking a multi-slab window recomputes that one slab and folds the
+// rest from migrated partials.
+func TestAppendSlabMigration(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	f.EnableIncremental(3600, 0, 0)
+	s := NewServer(f, WithTimeSnap(3600))
+	// Cache the tail half of the day — slabs 4..7 — because appends must be
+	// time-ordered, so the dirty slab has to sit at the end of the range.
+	body := map[string]any{
+		"dataset": "taxi", "layer": "nbhd", "agg": "count",
+		"time": map[string]int64{"start": 4 * 3600, "end": 8 * 3600},
+	}
+	if rec := doJSON(t, s, http.MethodPost, "/api/mapview", body); rec.Code != 200 {
+		t.Fatalf("warmup status = %d: %s", rec.Code, rec.Body)
+	}
+	sj := f.Incremental()
+	if got := sj.SlabsRecomputed(); got != 4 {
+		t.Fatalf("warmup recomputed %d slabs, want 4", got)
+	}
+
+	// Append at the set's last timestamp (inside slab 7 for this seed);
+	// only the slabs an appended timestamp lands in may drop, and only if
+	// they were cached — a dirty slab past the window was never cached, so
+	// it neither drops nor recomputes.
+	taxi, _ := f.PointSet("taxi")
+	t0 := taxi.T[taxi.Len()-1]
+	resp := postAppend(t, s, appendBody("taxi", 3, t0))
+	wantDirty := map[int64]bool{}
+	for i := int64(0); i < 3; i++ {
+		wantDirty[(t0+i)/3600] = true
+	}
+	dirtyCached := 0
+	for slab := range wantDirty {
+		if slab >= 4 && slab < 8 {
+			dirtyCached++
+		}
+	}
+	if dirtyCached == 0 {
+		t.Fatalf("seed drift: appended slab(s) %v missed the cached window", wantDirty)
+	}
+	if resp.SlabsDropped != dirtyCached || resp.SlabsMigrated != 4-dirtyCached {
+		t.Fatalf("append rekey = %+v, want %d dropped / %d migrated",
+			resp, dirtyCached, 4-dirtyCached)
+	}
+
+	// Same window again: only the dirty slab recomputes, the rest fold
+	// from migrated partials.
+	reused0, recomp0 := sj.SlabsReused(), sj.SlabsRecomputed()
+	if rec := doJSON(t, s, http.MethodPost, "/api/mapview", body); rec.Code != 200 {
+		t.Fatalf("post-append status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := sj.SlabsRecomputed() - recomp0; got != uint64(dirtyCached) {
+		t.Errorf("recomputed %d slabs after append, want %d", got, dirtyCached)
+	}
+	if got := sj.SlabsReused() - reused0; got != uint64(4-dirtyCached) {
+		t.Errorf("reused %d slabs after append, want %d", got, 4-dirtyCached)
+	}
+}
+
+// TestAppendValidation: the handler rejects malformed ingest loudly.
+func TestAppendValidation(t *testing.T) {
+	s, _ := testServer(t)
+	post := func(body map[string]any) *httptest.ResponseRecorder {
+		return doJSON(t, s, http.MethodPost, "/api/append", body)
+	}
+	if rec := post(appendBody("nosuch", 1, 9*3600)); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown data set status = %d, want 404", rec.Code)
+	}
+	missingT := appendBody("taxi", 1, 9*3600)
+	delete(missingT, "t")
+	if rec := post(missingT); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing time column status = %d, want 400", rec.Code)
+	}
+	missingAttr := appendBody("taxi", 1, 9*3600)
+	missingAttr["attrs"] = map[string]any{}
+	if rec := post(missingAttr); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing attribute status = %d, want 400", rec.Code)
+	}
+	unknownAttr := appendBody("taxi", 1, 9*3600)
+	unknownAttr["attrs"] = map[string]any{"fare": []float64{1}, "tip": []float64{1}}
+	if rec := post(unknownAttr); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown attribute status = %d, want 400", rec.Code)
+	}
+	ragged := appendBody("taxi", 2, 9*3600)
+	ragged["x"] = []float64{1}
+	if rec := post(ragged); rec.Code != http.StatusBadRequest {
+		t.Errorf("ragged columns status = %d, want 400", rec.Code)
+	}
+	if rec := doJSON(t, s, http.MethodGet, "/api/append", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", rec.Code)
+	}
+	// Out-of-order timestamps corrupt the binary-searched time column.
+	if rec := post(appendBody("taxi", 1, 3)); rec.Code != http.StatusBadRequest {
+		t.Errorf("time-regressing append status = %d, want 400", rec.Code)
+	}
+}
+
+// TestAppendResponsesChange: after an append the recomputed answer must
+// reflect the new points — eviction without recomputation would be a
+// staleness bug, not a perf feature.
+func TestAppendResponsesChange(t *testing.T) {
+	s, _ := testServer(t)
+	body := map[string]any{"dataset": "taxi", "layer": "nbhd", "agg": "count"}
+	first := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if first.Code != 200 {
+		t.Fatalf("status = %d", first.Code)
+	}
+	postAppend(t, s, appendBody("taxi", 64, 9*3600))
+	second := doJSON(t, s, http.MethodPost, "/api/mapview", body)
+	if second.Code != 200 {
+		t.Fatalf("status = %d", second.Code)
+	}
+	if bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("response unchanged after appending 64 points inside the layer")
+	}
+}
+
+// TestFrameworkAppendCOWSnapshot: a reader holding the old snapshot keeps
+// its length and answers while the framework serves the grown set.
+func TestFrameworkAppendCOWSnapshot(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	old, _ := f.PointSet("taxi")
+	oldLen := old.Len()
+	tail := &data.PointSet{
+		Name: "taxi",
+		X:    []float64{500}, Y: []float64{500}, T: []int64{9 * 3600},
+		Attrs: []data.Column{{Name: "fare", Values: []float64{1}}},
+	}
+	info, err := f.Append(context.Background(), "taxi", tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Appended != 1 || info.Len != oldLen+1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if old.Len() != oldLen {
+		t.Fatalf("old snapshot grew: %d -> %d", oldLen, old.Len())
+	}
+	grown, _ := f.PointSet("taxi")
+	if grown.Len() != oldLen+1 || grown.Stamp() == old.Stamp() {
+		t.Fatalf("grown set len=%d stamp=%d (old stamp %d)", grown.Len(), grown.Stamp(), old.Stamp())
+	}
+	// Segment-backed sets refuse appends.
+	if _, err := f.Append(context.Background(), "nosuch", tail); err == nil {
+		t.Error("append to unknown set succeeded")
+	}
+}

@@ -119,8 +119,10 @@ func internalErr(err error) error {
 }
 
 // syncGeneration slaves the cache generation to the framework's catalog
-// version, so registering a data set, layer, or cube invalidates the
-// whole cache.
+// version, so an engine toggle (geoblocks, incremental) invalidates the
+// whole cache. Registrations and per-data-set writes don't move the
+// version — writes advance the data set's epoch, which is part of every
+// cache key, and an eager sweep reclaims the stale entries.
 func (s *Server) syncGeneration() {
 	if s.cache != nil {
 		s.cache.AdvanceGeneration(s.f.Version())
@@ -238,43 +240,48 @@ func matchesETag(header, etag string) bool {
 
 // Canonical cache keys, one constructor per cached endpoint. All request
 // fields that influence the response participate; filters are sorted and
-// time windows snapped before this point.
+// time windows snapped before this point. The data set travels as an
+// Epoch pair (name + per-data-set write epoch), so an append or cube build
+// against one data set changes only that set's keys — every other set's
+// entries stay warm, and the image endpoints' ETags (which hash the key)
+// roll over automatically.
 
-func mapViewKey(req MapViewRequest) string {
+func mapViewKey(req MapViewRequest, epoch uint64) string {
 	return qcache.NewSig("mapview").
-		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Epoch(req.Dataset, epoch).Str("layer", req.Layer).
 		Str("agg", req.Agg.String()).Str("attr", req.Attr).
 		Filters("f", req.Filters).TimeRange("t", req.Time).Key()
 }
 
-func queryKey(canonicalStmt string) string {
-	return qcache.NewSig("query").Str("stmt", canonicalStmt).Key()
+func queryKey(canonicalStmt, dataset string, epoch uint64) string {
+	return qcache.NewSig("query").Str("stmt", canonicalStmt).
+		Epoch(dataset, epoch).Key()
 }
 
-func heatmapKey(req HeatmapRequest) string {
+func heatmapKey(req HeatmapRequest, epoch uint64) string {
 	return qcache.NewSig("heatmap").
-		Str("dataset", req.Dataset).Int("w", int64(req.W)).Int("h", int64(req.H)).
+		Epoch(req.Dataset, epoch).Int("w", int64(req.W)).Int("h", int64(req.H)).
 		Str("weight", req.Weight).
 		Filters("f", req.Filters).TimeRange("t", req.Time).Key()
 }
 
-func deltaKey(req DeltaRequest) string {
+func deltaKey(req DeltaRequest, epoch uint64) string {
 	return qcache.NewSig("delta").
-		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Epoch(req.Dataset, epoch).Str("layer", req.Layer).
 		Str("agg", req.Agg.String()).Str("attr", req.Attr).
 		Filters("f", req.Filters).
 		TimeRange("a", &req.A).TimeRange("b", &req.B).Key()
 }
 
-func tileKey(z, x, y int, dataset string) string {
+func tileKey(z, x, y int, dataset string, epoch uint64) string {
 	return qcache.NewSig("tile").
 		Int("z", int64(z)).Int("x", int64(x)).Int("y", int64(y)).
-		Str("dataset", dataset).Key()
+		Epoch(dataset, epoch).Key()
 }
 
-func choroplethKey(req MapViewRequest, width int) string {
+func choroplethKey(req MapViewRequest, width int, epoch uint64) string {
 	return qcache.NewSig("choropng").
-		Str("dataset", req.Dataset).Str("layer", req.Layer).
+		Epoch(req.Dataset, epoch).Str("layer", req.Layer).
 		Str("agg", req.Agg.String()).Str("attr", req.Attr).
 		Int("w", int64(width)).Key()
 }

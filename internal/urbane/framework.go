@@ -13,6 +13,7 @@ package urbane
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/geoblocks"
 	"repro/internal/query"
+	"repro/internal/tcache"
 )
 
 // Framework is the Urbane backend. Create with New; safe for concurrent
@@ -35,15 +37,33 @@ type Framework struct {
 	// arrays. See AttachSegments.
 	sources map[string]data.PointSource
 	planner *query.Planner
-	// version counts catalog mutations (data sets, layers, cubes); the
-	// server's query-result cache slaves its generation to it so any
-	// (re)load invalidates every cached response.
+	// epochs counts writes per data set: Append and BuildCube advance only
+	// the touched set's epoch. Response-cache keys embed the epoch, so a
+	// write produces fresh keys for that data set alone and every other
+	// set's entries stay warm.
+	epochs map[string]uint64
+	// version counts the catalog-wide mutations that can change response
+	// bytes across data sets (engine toggles); the server's query-result
+	// cache slaves its generation to it, so a bump invalidates every cached
+	// response. Per-data-set writes advance an epoch instead — see epochs.
 	version atomic.Uint64
 }
 
-// Version returns the catalog version: it increases whenever a point set,
-// region set, or cube is registered, and never otherwise.
+// Version returns the catalog version. It increases only on engine toggles
+// that reroute execution across data sets (EnableGeoBlocks,
+// EnableIncremental — the served Algorithm/Reason strings and SUM grouping
+// change), never on registrations or writes: adding a point set, layer, or
+// segment source cannot change any already-cached response's bytes, and
+// appends/cube builds advance the touched data set's Epoch instead.
 func (f *Framework) Version() uint64 { return f.version.Load() }
+
+// Epoch returns the per-data-set write epoch: 1 on registration, advanced
+// by every Append and BuildCube against the set, 0 for unknown names.
+func (f *Framework) Epoch(name string) uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.epochs[name]
+}
 
 // New returns a framework executing ad-hoc queries on the given raster
 // joiner (nil uses a default accurate joiner at 1024px — exact results at
@@ -56,6 +76,7 @@ func New(rj *core.RasterJoin) *Framework {
 		points:  make(map[string]*data.PointSet),
 		regions: make(map[string]*data.RegionSet),
 		sources: make(map[string]data.PointSource),
+		epochs:  make(map[string]uint64),
 		planner: query.NewPlanner(rj),
 	}
 }
@@ -74,7 +95,11 @@ func (f *Framework) AddPointSet(ps *data.PointSet) error {
 		return fmt.Errorf("urbane: point set %q already registered", ps.Name)
 	}
 	f.points[ps.Name] = ps
-	f.version.Add(1)
+	// Registration is non-invalidating: no cached response can mention a
+	// data set that did not exist when it was computed, and duplicate names
+	// are rejected, so nothing already cached can change. The set starts at
+	// epoch 1; writes advance it.
+	f.epochs[ps.Name] = 1
 	return nil
 }
 
@@ -93,8 +118,10 @@ func (f *Framework) AddRegionSet(rs *data.RegionSet) error {
 	if _, dup := f.regions[rs.Name]; dup {
 		return fmt.Errorf("urbane: region set %q already registered", rs.Name)
 	}
+	// Non-invalidating for the same reason as AddPointSet: a new layer
+	// cannot appear in any already-cached response, and error responses are
+	// never cached.
 	f.regions[rs.Name] = rs
-	f.version.Add(1)
 	return nil
 }
 
@@ -122,9 +149,122 @@ func (f *Framework) GeoBlocks() *geoblocks.Engine {
 	return f.planner.GeoBlocks
 }
 
+// EnableIncremental turns on incremental temporal view maintenance: the
+// planner answers slab-aligned time-windowed aggregation as a chronological
+// fold of cached per-slab partials (gran is the slab width in seconds —
+// the server passes its -time-snap bucket, so every snapped window is
+// automatically slab-aligned). cacheBytes <= 0 and maxSlabs <= 0 use the
+// tcache defaults. Enabling bumps the catalog version: windowed responses
+// now carry a different routing Reason, so previously cached ones are
+// dropped.
+func (f *Framework) EnableIncremental(gran int64, cacheBytes int64, maxSlabs int) *tcache.Joiner {
+	f.mu.Lock()
+	j := tcache.New(f.planner.Raster, gran, cacheBytes, maxSlabs)
+	f.planner.Slabs = j
+	f.mu.Unlock()
+	f.version.Add(1)
+	return j
+}
+
+// Incremental returns the slab-fold joiner, or nil when disabled.
+func (f *Framework) Incremental() *tcache.Joiner {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.planner.Slabs
+}
+
+// AppendInfo summarizes one Append: how the catalog and the incremental
+// structures moved.
+type AppendInfo struct {
+	// Appended is the number of points added; Len the set's new size.
+	Appended int
+	Len      int
+	// Epoch is the data set's epoch after the append.
+	Epoch uint64
+	// GeoBlocksPatched reports whether the hierarchy was patched in place
+	// (false when geoblocks is disabled, nothing was cached, or the patch
+	// fell back to a lazy rebuild).
+	GeoBlocksPatched bool
+	// SlabsMigrated / SlabsDropped count slab partials rekeyed to the new
+	// snapshot versus evicted because an appended timestamp dirtied them.
+	SlabsMigrated int
+	SlabsDropped  int
+}
+
+// Append grows the named data set with tail's points via a copy-on-write
+// append: in-flight queries keep reading the old snapshot, new queries see
+// the grown one. The incremental structures are maintained, not rebuilt —
+// the geoblocks pyramid is patched with tail-only aggregates, and slab
+// partials whose windows contain no appended timestamp migrate to the new
+// snapshot while dirtied slabs are evicted. The set's epoch advances, so
+// response-cache keys for this data set change while every other set's
+// entries stay warm.
+//
+// tail must match the set's schema and — for sets with a time column —
+// arrive in time order, no earlier than the set's last timestamp: the
+// query scan binary-searches the time column, so an out-of-order append
+// would silently corrupt every windowed query. Appends to segment-backed
+// sets are rejected (the attached source would no longer agree with the
+// set). An empty tail is a no-op that reports the current state.
+func (f *Framework) Append(ctx context.Context, name string, tail *data.PointSet) (AppendInfo, error) {
+	if err := tail.Validate(); err != nil {
+		return AppendInfo{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ps, ok := f.points[name]
+	if !ok {
+		return AppendInfo{}, fmt.Errorf("urbane: unknown point set %q", name)
+	}
+	if _, segmented := f.sources[name]; segmented {
+		return AppendInfo{}, fmt.Errorf("urbane: point set %q is segment-backed; appends need an in-RAM set", name)
+	}
+	if tail.Len() == 0 {
+		return AppendInfo{Len: ps.Len(), Epoch: f.epochs[name]}, nil
+	}
+	if ps.T != nil && tail.T != nil {
+		last := int64(math.MinInt64)
+		if n := ps.Len(); n > 0 {
+			last = ps.T[n-1]
+		}
+		for i, tt := range tail.T {
+			if tt < last {
+				return AppendInfo{}, fmt.Errorf(
+					"urbane: append to %q out of time order: tail[%d]=%d precedes %d (the scan binary-searches the time column)",
+					name, i, tt, last)
+			}
+			last = tt
+		}
+	}
+	grown, err := ps.AppendCOW(tail)
+	if err != nil {
+		return AppendInfo{}, err
+	}
+	oldStamp, newStamp := ps.Stamp(), grown.Stamp()
+	info := AppendInfo{Appended: tail.Len(), Len: grown.Len()}
+	if g := f.planner.GeoBlocks; g != nil {
+		info.GeoBlocksPatched = g.Store().Patch(ctx, ps, grown)
+	}
+	if sj := f.planner.Slabs; sj != nil {
+		// Only the slabs an appended timestamp lands in change; partials for
+		// every other slab are byte-identical over the grown set and migrate.
+		dirty := make(map[int64]bool)
+		for _, t := range tail.T {
+			dirty[tcache.SlabOf(t, sj.Gran())] = true
+		}
+		info.SlabsMigrated, info.SlabsDropped = sj.Cache().Rekey(oldStamp, newStamp, dirty)
+	}
+	f.points[name] = grown
+	f.epochs[name]++
+	info.Epoch = f.epochs[name]
+	return info, nil
+}
+
 // BuildCube materializes a pre-aggregation cube for the named data set and
 // layer and registers it with the planner, so canned queries short-circuit
-// past the raster engine.
+// past the raster engine. It advances the data set's epoch (the cube
+// changes how that set's canned queries answer), leaving every other data
+// set's cached responses warm.
 func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []string) (*cube.Cube, error) {
 	ps, ok := f.PointSet(dataset)
 	if !ok {
@@ -140,8 +280,12 @@ func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []stri
 	}
 	f.mu.Lock()
 	f.planner.AddCube(c)
+	// A new cube changes how this data set's canned queries execute (the
+	// served Algorithm/Reason strings and SUM grouping differ), so cached
+	// responses for this set must go — but only this set's: advance its
+	// epoch instead of the catalog version.
+	f.epochs[dataset]++
 	f.mu.Unlock()
-	f.version.Add(1)
 	return c, nil
 }
 
@@ -150,8 +294,9 @@ func (f *Framework) BuildCube(dataset, layer string, timeBin int64, attrs []stri
 // execute block-at-a-time through the source — zone-map pruned, decoded
 // under the store's byte budget — while the in-RAM set keeps serving the
 // engines that need random access (cubes, geoblocks, heatmaps). The source
-// must agree with the set on length and schema; registration bumps the
-// catalog version so cached responses are dropped.
+// must agree with the set on length and schema. Attaching is
+// non-invalidating: segment-backed execution is byte-identical to the
+// in-RAM scan, so cached responses stay valid.
 func (f *Framework) AttachSegments(dataset string, src data.PointSource) error {
 	if src == nil {
 		return fmt.Errorf("urbane: nil point source for %q", dataset)
@@ -170,8 +315,10 @@ func (f *Framework) AttachSegments(dataset string, src data.PointSource) error {
 		return fmt.Errorf("urbane: segment source for %q has %d attributes, set has %d",
 			dataset, len(got), len(want))
 	}
+	// Non-invalidating: segment-backed execution is byte-identical to the
+	// in-RAM scan (the block walk preserves point order and the engine is
+	// unchanged), so cached responses stay correct.
 	f.sources[dataset] = src
-	f.version.Add(1)
 	return nil
 }
 
@@ -277,6 +424,9 @@ func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core
 	}
 	if pl.GeoBlocks != nil && pl.Exact == nil && pl.GeoBlocks.CanServe(req) == nil {
 		return pl.GeoBlocks.JoinContext(ctx, req)
+	}
+	if pl.Slabs != nil && pl.Exact == nil && pl.Slabs.CanServe(req) == nil {
+		return pl.Slabs.JoinContext(ctx, req)
 	}
 	return pl.Raster.JoinContext(ctx, req)
 }

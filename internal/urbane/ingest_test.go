@@ -1,0 +1,173 @@
+package urbane
+
+// Append-while-query smoke: a writer streams time-ordered appends through
+// POST /api/append while readers hammer the cached endpoints across every
+// execution path the append touches — the slab fold (timed windows), the
+// geoblocks hierarchy (untimed choropleths), tiles, and ad-hoc statements.
+// Run under -race via `make ingest-smoke`. Readers assert a linearization
+// invariant: the total count over a layer covering every point is
+// non-decreasing (appends only add points), and once the writer finishes it
+// equals the initial total plus everything appended.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// silentJSON is doJSON without *testing.T, usable from worker goroutines.
+func silentJSON(s *Server, method, path string, body any) (*httptest.ResponseRecorder, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec, nil
+}
+
+func gridTotal(s *Server) (float64, error) {
+	rec, err := silentJSON(s, http.MethodPost, "/api/mapview",
+		map[string]any{"dataset": "taxi", "layer": "grid", "agg": "count"})
+	if err != nil {
+		return 0, err
+	}
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("grid mapview status %d: %s", rec.Code, rec.Body)
+	}
+	var ch Choropleth
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, v := range ch.Values {
+		total += v.Value
+	}
+	return total, nil
+}
+
+func TestIngestSmoke(t *testing.T) {
+	f, _, _ := buildTestFramework(t)
+	f.EnableGeoBlocks(6)
+	f.EnableIncremental(3600, 0, 0)
+	s := NewServer(f, WithTimeSnap(3600))
+
+	const (
+		batches   = 30
+		batchSize = 25
+		readers   = 4
+	)
+	initial, err := gridTotal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, readers+1)
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: time-ordered batches through the ingest endpoint.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		taxi, _ := f.PointSet("taxi")
+		next := taxi.T[taxi.Len()-1] + 1
+		for b := 0; b < batches; b++ {
+			rec, err := silentJSON(s, http.MethodPost, "/api/append",
+				appendBody("taxi", batchSize, next))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("append batch %d: status %d: %s", b, rec.Code, rec.Body)
+				return
+			}
+			next += batchSize
+		}
+		errs <- nil
+	}()
+
+	// Readers: cycle the execution paths; the grid total must never shrink.
+	reads := []struct {
+		method, path string
+		body         any
+	}{
+		{http.MethodPost, "/api/mapview", map[string]any{
+			"dataset": "taxi", "layer": "nbhd", "agg": "count",
+			"time": map[string]int64{"start": 4 * 3600, "end": 8 * 3600}}},
+		{http.MethodPost, "/api/mapview", map[string]any{
+			"dataset": "taxi", "layer": "nbhd", "agg": "avg", "attr": "fare"}},
+		{http.MethodGet, "/api/tile/1/0/0.png?dataset=taxi", nil},
+		{http.MethodPost, "/api/query", map[string]string{
+			"stmt": "SELECT COUNT(*) FROM taxi, nbhd GROUP BY id"}},
+		{http.MethodPost, "/api/mapview", map[string]any{
+			"dataset": "311", "layer": "grid", "agg": "count"}},
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := initial
+			for i := 0; ; i++ {
+				select {
+				case <-writerDone:
+					errs <- nil
+					return
+				default:
+				}
+				q := reads[(i+w)%len(reads)]
+				rec, err := silentJSON(s, q.method, q.path, q.body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: %s %s: status %d: %s",
+						w, q.method, q.path, rec.Code, rec.Body)
+					return
+				}
+				total, err := gridTotal(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if total < last {
+					errs <- fmt.Errorf("reader %d: total count shrank %v -> %v under append-only ingest",
+						w, last, total)
+					return
+				}
+				last = total
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	final, err := gridTotal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := initial + batches*batchSize; final != want {
+		t.Fatalf("final total = %v, want %v (initial %v + %d appended)",
+			final, want, initial, batches*batchSize)
+	}
+	// The incremental machinery actually engaged during the soak.
+	if sj := f.Incremental(); sj.SlabsRecomputed() == 0 {
+		t.Error("slab fold never engaged")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admit"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/segment"
+	"repro/internal/tcache"
 	"repro/internal/trace"
 )
 
@@ -35,6 +37,10 @@ type Server struct {
 	metrics *trace.Registry   // per-endpoint latency histograms and gauges
 	admit   *admit.Controller // nil = admission control disabled
 	faults  *fault.Registry   // nil = fault injection disarmed
+
+	// epochEvictions counts cache entries reclaimed by per-data-set epoch
+	// sweeps (appends), as opposed to whole-generation invalidations.
+	epochEvictions atomic.Uint64
 }
 
 // NewServer wraps a framework. By default responses are cached in
@@ -54,6 +60,7 @@ func NewServer(f *Framework, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("/api/cachestats", s.handleCacheStats)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/append", s.handleAppend)
 	s.mux.HandleFunc("/api/mapview", s.handleMapView)
 	s.mux.HandleFunc("/api/explore", s.handleExplore)
 	s.mux.HandleFunc("/api/rank", s.handleRank)
@@ -290,7 +297,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q.Filters = qcache.CanonFilters(q.Filters)
 	q.Time = s.snapTime(q.Time)
 	stmt := q.String()
-	s.serveCached(w, r, queryKey(stmt), "application/json", func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, queryKey(stmt, q.Points, s.f.Epoch(q.Points)), "application/json", func(ctx context.Context) ([]byte, error) {
 		exec, err := s.f.QueryContext(ctx, stmt)
 		if err != nil {
 			return nil, err
@@ -372,7 +379,7 @@ func (s *Server) handleMapView(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	s.serveCached(w, r, mapViewKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, mapViewKey(req, s.f.Epoch(req.Dataset)), "application/json", func(ctx context.Context) ([]byte, error) {
 		ch, err := s.f.MapViewContext(ctx, req)
 		if err != nil {
 			return nil, err
@@ -496,7 +503,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		A: *s.snapTime(&core.TimeFilter{Start: wreq.A.Start, End: wreq.A.End}),
 		B: *s.snapTime(&core.TimeFilter{Start: wreq.B.Start, End: wreq.B.End}),
 	}
-	s.serveCached(w, r, deltaKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, deltaKey(req, s.f.Epoch(req.Dataset)), "application/json", func(ctx context.Context) ([]byte, error) {
 		view, err := s.f.DeltaContext(ctx, req)
 		if err != nil {
 			return nil, err
@@ -528,7 +535,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if wreq.Time != nil {
 		req.Time = s.snapTime(&core.TimeFilter{Start: wreq.Time.Start, End: wreq.Time.End})
 	}
-	s.serveCached(w, r, heatmapKey(req), "application/json", func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, heatmapKey(req, s.f.Epoch(req.Dataset)), "application/json", func(ctx context.Context) ([]byte, error) {
 		hm, err := s.f.HeatmapContext(ctx, req)
 		if err != nil {
 			return nil, err
@@ -603,8 +610,21 @@ type statsResponse struct {
 	LiveTextures   int64                 `json:"liveTextures"`
 	Admission      admit.Stats           `json:"admission"`
 	Segments       segmentsStats         `json:"segments"`
+	Incremental    incrementalStats      `json:"incremental"`
 	Gauges         map[string]int64      `json:"gauges"`
 	Endpoints      []trace.EndpointStats `json:"endpoints"`
+}
+
+// incrementalStats reports the incremental-maintenance machinery: slab-fold
+// reuse counters, the slab partial cache, and per-data-set epoch sweeps.
+type incrementalStats struct {
+	Enabled         bool         `json:"enabled"`
+	GranSec         int64        `json:"granSec"`
+	MaxSlabs        int          `json:"maxSlabs"`
+	SlabsReused     uint64       `json:"slabsReused"`
+	SlabsRecomputed uint64       `json:"slabsRecomputed"`
+	EpochEvictions  uint64       `json:"epochEvictions"`
+	Cache           tcache.Stats `json:"cache"`
 }
 
 // segmentsStats reports segment-backed execution: which data sets run on
@@ -637,12 +657,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	inc := incrementalStats{EpochEvictions: s.epochEvictions.Load()}
+	if j := s.f.Incremental(); j != nil {
+		inc.Enabled = true
+		inc.GranSec = j.Gran()
+		inc.MaxSlabs = j.MaxSlabs()
+		inc.SlabsReused = j.SlabsReused()
+		inc.SlabsRecomputed = j.SlabsRecomputed()
+		inc.Cache = j.Cache().Stats()
+	}
 	// Mirror the admission snapshot into the trace registry's gauge map so
 	// any consumer of the registry sees shed/queued/inflight without knowing
 	// about the admit package.
 	s.metrics.SetGauge("admit.inflight", adm.InFlight)
 	s.metrics.SetGauge("admit.queued", adm.Queued)
 	s.metrics.SetGauge("admit.shed", int64(adm.Shed))
+	s.metrics.SetGauge("incremental.slabs_reused", int64(inc.SlabsReused))
+	s.metrics.SetGauge("incremental.slabs_recomputed", int64(inc.SlabsRecomputed))
+	s.metrics.SetGauge("incremental.epoch_evictions", int64(inc.EpochEvictions))
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSec:      s.metrics.Uptime().Seconds(),
 		QueryTimeoutMs: float64(s.timeout) / float64(time.Millisecond),
@@ -650,6 +682,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LiveTextures:   dev.LiveTextures(),
 		Admission:      adm,
 		Segments:       seg,
+		Incremental:    inc,
 		Gauges:         s.metrics.Gauges(),
 		Endpoints:      s.metrics.Snapshot(),
 	})

@@ -27,14 +27,19 @@ func cacheStats(t *testing.T, s *Server) cacheStatsResponse {
 	return st
 }
 
-// invalidateViaCatalog registers a throwaway point set, which bumps the
-// framework version and thereby the cache generation.
+// invalidateViaCatalog forces a whole-cache invalidation the way an engine
+// toggle does: it bumps the catalog version directly. It also registers a
+// throwaway point set first, which must NOT invalidate on its own — a new
+// data set cannot appear in any cached response (the per-data-set epoch
+// audit); the lifecycle tests keep asserting recomputed bodies are
+// byte-identical, which only holds because the queried data is unchanged.
 func invalidateViaCatalog(t *testing.T, f *Framework, name string) {
 	t.Helper()
 	ps := &data.PointSet{Name: name, X: []float64{1}, Y: []float64{2}}
 	if err := f.AddPointSet(ps); err != nil {
 		t.Fatal(err)
 	}
+	f.version.Add(1)
 }
 
 // TestCachedEndpointLifecycle drives every cached endpoint through the

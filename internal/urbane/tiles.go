@@ -73,7 +73,7 @@ func (s *Server) handleChoroplethPNG(w http.ResponseWriter, r *http.Request) {
 		Dataset: q.Get("dataset"), Layer: q.Get("layer"),
 		Agg: agg, Attr: q.Get("attr"),
 	}
-	s.serveCachedImage(w, r, choroplethKey(req, width), "image/png", func(ctx context.Context) ([]byte, error) {
+	s.serveCachedImage(w, r, choroplethKey(req, width, s.f.Epoch(req.Dataset)), "image/png", func(ctx context.Context) ([]byte, error) {
 		return s.f.RenderChoroplethContext(ctx, req, width)
 	})
 }
@@ -107,7 +107,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 	tile := mercator.Tile{Z: z, X: x, Y: y}
 	dataset := r.URL.Query().Get("dataset")
-	s.serveCachedImage(w, r, tileKey(z, x, y, dataset), "image/png", func(ctx context.Context) ([]byte, error) {
+	s.serveCachedImage(w, r, tileKey(z, x, y, dataset, s.f.Epoch(dataset)), "image/png", func(ctx context.Context) ([]byte, error) {
 		hm, err := s.f.HeatmapContext(ctx, HeatmapRequest{
 			Dataset: dataset,
 			W:       256, H: 256,

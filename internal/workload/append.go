@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+)
+
+// Appender is a deterministic stream of POST /api/append ingest requests —
+// the writer half of a soak. Each request appends a small columnar batch to
+// one of the configured data sets, with per-data-set timestamps that start
+// at the mix's TimeMax (past every point the server generated) and only
+// move forward, because the server rejects appends that would break the
+// time column's sort order.
+//
+// Two Appenders built with the same config and seed yield the identical
+// request sequence, so a chaos soak's appends can be re-issued verbatim
+// against a pristine server (ReplayAppends) before a byte-identical read
+// replay. The configured Attrs must be each data set's complete attribute
+// schema — the ingest endpoint requires every column. Not safe for
+// concurrent use; soaks run a single writer.
+type Appender struct {
+	cfg  MixConfig
+	rng  *rand.Rand
+	next map[string]int64
+}
+
+// NewAppender returns a deterministic append stream over cfg's data sets.
+func NewAppender(cfg MixConfig, seed int64) *Appender {
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = []string{"taxi"}
+	}
+	if cfg.TimeMax <= cfg.TimeMin {
+		cfg.TimeMax = cfg.TimeMin + 30*86400
+	}
+	if cfg.Bounds[2] <= cfg.Bounds[0] || cfg.Bounds[3] <= cfg.Bounds[1] {
+		cfg.Bounds = mercatorNYC()
+	}
+	next := make(map[string]int64, len(cfg.Datasets))
+	for _, ds := range cfg.Datasets {
+		next[ds] = cfg.TimeMax
+	}
+	return &Appender{cfg: cfg, rng: rand.New(rand.NewSource(seed)), next: next}
+}
+
+// Next generates the following append request of the stream.
+func (a *Appender) Next() HTTPRequest {
+	ds := pick(a.rng, a.cfg.Datasets)
+	n := 8 + a.rng.Intn(25)
+	b := a.cfg.Bounds
+	w, h := b[2]-b[0], b[3]-b[1]
+
+	var xs, ys, ts strings.Builder
+	cursor := a.next[ds]
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			xs.WriteByte(',')
+			ys.WriteByte(',')
+			ts.WriteByte(',')
+		}
+		fmt.Fprintf(&xs, "%g", b[0]+a.rng.Float64()*w)
+		fmt.Fprintf(&ys, "%g", b[1]+a.rng.Float64()*h)
+		fmt.Fprintf(&ts, "%d", cursor)
+		cursor += a.rng.Int63n(30)
+	}
+	a.next[ds] = cursor + 1
+
+	var attrs strings.Builder
+	for k, attr := range a.cfg.Attrs[ds] {
+		if k > 0 {
+			attrs.WriteByte(',')
+		}
+		fmt.Fprintf(&attrs, "%q:[", attr)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				attrs.WriteByte(',')
+			}
+			fmt.Fprintf(&attrs, "%g", a.rng.Float64()*50)
+		}
+		attrs.WriteByte(']')
+	}
+
+	body := fmt.Sprintf(`{"dataset":%q,"x":[%s],"y":[%s],"t":[%s],"attrs":{%s}}`,
+		ds, xs.String(), ys.String(), ts.String(), attrs.String())
+	return HTTPRequest{Method: http.MethodPost, Path: "/api/append", Body: body, Kind: "append"}
+}

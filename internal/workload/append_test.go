@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAppenderDeterministic(t *testing.T) {
+	a := NewAppender(testMixConfig(), 7)
+	b := NewAppender(testMixConfig(), 7)
+	for i := 0; i < 200; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("append %d diverged:\n  %+v\n  %+v", i, ra, rb)
+		}
+	}
+	c := NewAppender(testMixConfig(), 8)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical append streams")
+	}
+}
+
+func TestAppenderWellFormed(t *testing.T) {
+	cfg := testMixConfig()
+	cfg.Bounds = [4]float64{0, 0, 1000, 1000}
+	app := NewAppender(cfg, 3)
+	lastT := map[string]int64{}
+	for i := 0; i < 300; i++ {
+		r := app.Next()
+		if r.Method != "POST" || r.Path != "/api/append" || r.Kind != "append" {
+			t.Fatalf("append %d: %s %s kind=%q", i, r.Method, r.Path, r.Kind)
+		}
+		var body struct {
+			Dataset string               `json:"dataset"`
+			X       []float64            `json:"x"`
+			Y       []float64            `json:"y"`
+			T       []int64              `json:"t"`
+			Attrs   map[string][]float64 `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(r.Body), &body); err != nil {
+			t.Fatalf("append %d: body is invalid JSON: %v\n%s", i, err, r.Body)
+		}
+		n := len(body.X)
+		if n < 8 || len(body.Y) != n || len(body.T) != n {
+			t.Fatalf("append %d: ragged batch x=%d y=%d t=%d", i, n, len(body.Y), len(body.T))
+		}
+		// Full attribute schema, every column the batch's length.
+		want := cfg.Attrs[body.Dataset]
+		if len(body.Attrs) != len(want) {
+			t.Fatalf("append %d: %d attrs, want schema %v", i, len(body.Attrs), want)
+		}
+		for _, attr := range want {
+			if len(body.Attrs[attr]) != n {
+				t.Fatalf("append %d: attr %q has %d values, want %d", i, attr, len(body.Attrs[attr]), n)
+			}
+		}
+		// The server's ingest gate: timestamps non-decreasing within the
+		// batch, at or after the data set's previous append, and starting
+		// past the generated data (TimeMax).
+		prev := cfg.TimeMax
+		if last, ok := lastT[body.Dataset]; ok {
+			prev = last
+		}
+		for k, ts := range body.T {
+			if ts < prev {
+				t.Fatalf("append %d: t[%d]=%d precedes %d (time-order gate would reject)", i, k, ts, prev)
+			}
+			prev = ts
+		}
+		lastT[body.Dataset] = prev
+		for k := range body.X {
+			if body.X[k] < cfg.Bounds[0] || body.X[k] > cfg.Bounds[2] ||
+				body.Y[k] < cfg.Bounds[1] || body.Y[k] > cfg.Bounds[3] {
+				t.Fatalf("append %d: point %d (%g,%g) outside bounds %v",
+					i, k, body.X[k], body.Y[k], cfg.Bounds)
+			}
+		}
+	}
+}
