@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke segment-smoke ingest-smoke verify
+.PHONY: build test race vet lint lint-json lint-baseline bench fuzz stress stats-smoke parallel-race chaos-smoke geoblocks-smoke segment-smoke ingest-smoke shard-smoke verify
 
 build:
 	$(GO) build ./...
@@ -105,5 +105,15 @@ ingest-smoke:
 	$(GO) test -race -count=1 -run '^TestPatch' ./internal/geoblocks
 	$(GO) test -race -count=1 ./internal/tcache ./internal/workload
 	$(GO) test -race -count=1 -run '^TestIngestSoakReplay$$' ./internal/chaos
+
+# Spatial sharding gate under the race detector: the shard-count
+# equivalence matrix (sharded results bit-identical to the local path at
+# counts 1/2/4/8, both modes, all five aggregates, filtered and
+# post-append), the coordinator cancellation-hygiene and kill/restart
+# suites, and the seeded kill/restart chaos soak with its byte-identical
+# post-chaos replay against a pristine unsharded server.
+shard-smoke:
+	$(GO) test -race -count=1 ./internal/shard
+	$(GO) test -race -count=1 -run '^(TestShard|TestMixedDataset)' ./internal/chaos
 
 verify: build vet lint test

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/index"
 	"repro/internal/segment"
+	"repro/internal/shard"
 	"repro/internal/tcache"
 	"repro/internal/urbane"
 	"repro/internal/workload"
@@ -1038,6 +1040,88 @@ func runE21(scale float64) {
 	must(err)
 	must(os.WriteFile("BENCH_incremental.json", append(out, '\n'), 0o644))
 	fmt.Printf("\nwrote BENCH_incremental.json\n")
+}
+
+type shardJSON struct {
+	Cores  int            `json:"cores"`
+	Points int            `json:"points"`
+	Note   string         `json:"note"`
+	Rows   []shardRowJSON `json:"shard_sweep"`
+}
+
+type shardRowJSON struct {
+	Shards       int     `json:"shards"`
+	Count        int64   `json:"count"`
+	ShardedNs    int64   `json:"sharded_ns_per_op"`
+	LocalNs      int64   `json:"local_ns_per_op"`
+	BitIdentical bool    `json:"bit_identical"`
+	Overhead     float64 `json:"overhead_vs_local"`
+}
+
+// runE22 sweeps the scatter-gather shard count and proves the headline
+// property on the full NYC workload: the sharded result is bit-identical
+// to the local path at every count, with the coordination overhead (or
+// speedup, on multi-core hosts) measured against the unsharded join.
+func runE22(scale float64) {
+	n := scaled(1_000_000, scale, 200_000)
+	scene := workload.NYC(n, 2009)
+	ps := scene.Taxi
+	regions := scene.Neighborhoods
+	raster := core.NewRasterJoin(core.WithResolution(1024), core.WithMode(core.Accurate))
+	req := core.Request{Points: ps, Regions: regions, Agg: core.Sum, Attr: "fare"}
+	ctx := context.Background()
+
+	cores := runtime.NumCPU()
+	note := fmt.Sprintf("%d-core host: shard passes run goroutine-per-shard, so wall-clock "+
+		"gains need real cores; on a 1-core box the sweep measures pure coordination overhead", cores)
+	fmt.Printf("workload: %d points, %d regions; scatter-gather vs local raster join\n%s\n",
+		n, regions.Len(), note)
+
+	want, err := raster.JoinContext(ctx, req)
+	must(err)
+	localLat := timeMedian(3, func() {
+		_, err := raster.JoinContext(ctx, req)
+		must(err)
+	})
+
+	rep := shardJSON{Cores: cores, Points: n, Note: note}
+	t := newTable("shards", "count", "sharded", "local", "bit-identical", "overhead")
+	for _, ns := range []int{1, 2, 4, 8} {
+		co := shard.New(raster, ns)
+		var got *core.Result
+		shardLat := timeMedian(3, func() {
+			r, err := co.JoinContext(ctx, req)
+			must(err)
+			got = r
+		})
+		identical := len(got.Stats) == len(want.Stats)
+		for k := range got.Stats {
+			if !identical {
+				break
+			}
+			identical = got.Stats[k].Count == want.Stats[k].Count &&
+				math.Float64bits(got.Stats[k].Sum) == math.Float64bits(want.Stats[k].Sum) &&
+				math.Float64bits(got.Stats[k].Min) == math.Float64bits(want.Stats[k].Min) &&
+				math.Float64bits(got.Stats[k].Max) == math.Float64bits(want.Stats[k].Max)
+		}
+		if !identical {
+			panic(fmt.Sprintf("E22 shards=%d: sharded result diverged from local path", ns))
+		}
+		overhead := float64(shardLat)/float64(localLat) - 1
+		t.row(fmt.Sprintf("%d", ns), want.TotalCount(), shardLat, localLat, identical,
+			fmt.Sprintf("%+.1f%%", 100*overhead))
+		rep.Rows = append(rep.Rows, shardRowJSON{
+			Shards: ns, Count: want.TotalCount(),
+			ShardedNs: shardLat.Nanoseconds(), LocalNs: localLat.Nanoseconds(),
+			BitIdentical: identical, Overhead: overhead,
+		})
+	}
+	t.flush()
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_shard.json", append(out, '\n'), 0o644))
+	fmt.Printf("\nwrote BENCH_shard.json\n")
 }
 
 func must(err error) {

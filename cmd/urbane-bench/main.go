@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"E19", "GeoBlocks hierarchy: arbitrary-polygon selectivity sweep vs raster path", runE19},
 	{"E20", "Columnar segments: filter-selectivity sweep, block pruning vs full scan", runE20},
 	{"E21", "Incremental windows: one-slab slide over cached partials vs cold fold", runE21},
+	{"E22", "Spatial sharding: scatter-gather shard-count sweep, bit-identical results", runE22},
 }
 
 func main() {

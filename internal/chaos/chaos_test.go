@@ -34,7 +34,7 @@ import (
 // with a one-block cache budget, so ad-hoc execution runs the out-of-core
 // block-pruned path; replay against a non-segment framework then asserts
 // the two execution paths answer byte-identically.
-func buildFramework(t testing.TB, dev *gpu.Device, segments bool) *urbane.Framework {
+func buildFramework(t testing.TB, dev *gpu.Device, segments bool, opts ...core.RJOption) *urbane.Framework {
 	t.Helper()
 	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
 	rng := rand.New(rand.NewSource(77))
@@ -57,8 +57,9 @@ func buildFramework(t testing.TB, dev *gpu.Device, segments bool) *urbane.Framew
 		ps.SortByTime()
 		return ps
 	}
-	f := urbane.New(core.NewRasterJoin(core.WithDevice(dev),
-		core.WithMode(core.Accurate), core.WithResolution(128)))
+	rjOpts := append([]core.RJOption{core.WithDevice(dev),
+		core.WithMode(core.Accurate), core.WithResolution(128)}, opts...)
+	f := urbane.New(core.NewRasterJoin(rjOpts...))
 	sets := []*data.PointSet{mk("taxi", 1200), mk("311", 600)}
 	for _, ps := range sets {
 		if err := f.AddPointSet(ps); err != nil {

@@ -376,26 +376,12 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 	}
 
 	// Accurate: outline pass first — point binning below needs to know
-	// which pixels are boundary pixels for some region. slotOf maps a
-	// boundary pixel's index to a dense bucket slot (-1 elsewhere), so the
-	// hot point loop pays one array lookup instead of a map operation.
-	// Bins hold the observation (coordinates plus aggregated value), not
-	// the point index: with an out-of-core source the block a point came
-	// from may be evicted before the fix-up pass runs.
+	// which pixels are boundary pixels for some region.
 	var slotOf []int32
 	var bins [][]obs
 	var regionPixels [][]int32
 	if r.mode == Accurate {
-		var boundaryList []int32
-		boundaryList, regionPixels = r.outlinePass(c, req.Regions, sp)
-		slotOf = make([]int32, w*h)
-		for i := range slotOf {
-			slotOf[i] = -1
-		}
-		for s, idx := range boundaryList {
-			slotOf[idx] = int32(s)
-		}
-		bins = make([][]obs, len(boundaryList))
+		slotOf, bins, regionPixels = r.prepareAccurate(c, req.Regions, sp)
 	}
 
 	// Pass 1: point textures. COUNT/SUM/AVG blend additively; MIN/MAX use
@@ -455,14 +441,50 @@ func (r *RasterJoin) renderTile(ctx context.Context, c *gpu.Canvas, req Request,
 		return err
 	}
 
-	// Passes 2 and 3: per-region accumulation, parallel across regions.
-	//
-	// Race audit (sharedwrite-clean): the atomic cursor assigns each
-	// region index k to exactly one goroutine, so stats[k] has a single
-	// writer; countTex/sumTex/minTex/maxTex, bins, slotOf and
-	// regionPixels are frozen after pass 1 and only read here. Each
-	// goroutine's scratch bitmap is goroutine-local. wg.Wait() orders the
-	// caller's reads after all writes.
+	return r.regionPasses(ctx, c, req, stats, sp,
+		countTex, sumTex, minTex, maxTex, slotOf, bins, regionPixels, attrIdx)
+}
+
+// prepareAccurate runs the outline pass and builds the boundary-pixel
+// bookkeeping the accurate mode needs before the point pass: slotOf maps a
+// boundary pixel's index to a dense bucket slot (-1 elsewhere), so the hot
+// point loop pays one array lookup instead of a map operation. Bins hold
+// the observation (coordinates plus aggregated value), not the point index:
+// with an out-of-core source the block a point came from may be evicted
+// before the fix-up pass runs.
+func (r *RasterJoin) prepareAccurate(c *gpu.Canvas, regions *data.RegionSet, sp *raster.RegionSpans) (slotOf []int32, bins [][]obs, regionPixels [][]int32) {
+	w, h := c.T.W, c.T.H
+	var boundaryList []int32
+	boundaryList, regionPixels = r.outlinePass(c, regions, sp)
+	slotOf = make([]int32, w*h)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for s, idx := range boundaryList {
+		slotOf[idx] = int32(s)
+	}
+	bins = make([][]obs, len(boundaryList))
+	return slotOf, bins, regionPixels
+}
+
+// regionPasses runs passes 2 and 3 over finished point textures: per-region
+// accumulation, parallel across regions, plus the accurate-mode boundary
+// fix-up from the point bins. It is shared by the local renderTile and the
+// scatter-gather driver — after the gather the merged textures and bins are
+// indistinguishable from a local pass 1, so running the identical code here
+// is what makes sharded results byte-identical to the unsharded path.
+//
+// Race audit (sharedwrite-clean): the atomic cursor assigns each
+// region index k to exactly one goroutine, so stats[k] has a single
+// writer; countTex/sumTex/minTex/maxTex, bins, slotOf and
+// regionPixels are frozen after pass 1 and only read here. Each
+// goroutine's scratch bitmap is goroutine-local. wg.Wait() orders the
+// caller's reads after all writes.
+func (r *RasterJoin) regionPasses(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
+	sp *raster.RegionSpans, countTex, sumTex, minTex, maxTex *gpu.Texture,
+	slotOf []int32, bins [][]obs, regionPixels [][]int32, attrIdx int) error {
+
+	w, h := c.T.W, c.T.H
 	regions := req.Regions.Regions
 	workers := r.workers
 	if workers > len(regions) {

@@ -104,8 +104,15 @@ type Scan struct {
 // filter narrows [Lo, Hi) by binary search on a time-sorted source and
 // joins the residual predicate otherwise.
 func (r *RasterJoin) newScan(req Request) (*Scan, error) {
+	return newScanPrune(req, r.blockPrune)
+}
+
+// newScanPrune is newScan with an explicit pruning flag, for callers that
+// are not a *RasterJoin (the shard executors compile their own scans from a
+// wire-able spec).
+func newScanPrune(req Request, prune bool) (*Scan, error) {
 	src := req.Data()
-	sc := &Scan{Src: src, Lo: 0, Hi: src.Len(), prune: r.blockPrune}
+	sc := &Scan{Src: src, Lo: 0, Hi: src.Len(), prune: prune}
 	tf := req.Time
 	if tf != nil && src.TimeSorted() {
 		var err error
@@ -271,6 +278,112 @@ func (sc *Scan) piecesRange(ctx context.Context, s, e int, fn func(blk *data.Blo
 		}
 	}
 	return flush()
+}
+
+// piecesBlocks is piecesRange over an explicit ascending block list with an
+// additional world-x ownership range [xlo, xhi): blocks whose x zone cannot
+// intersect the range are skipped, and fn additionally learns whether the
+// per-point ownership test is still needed (needX=false when the zone proves
+// the whole block lies inside the range). Like piecesRange, maximal runs of
+// contiguous surviving blocks with equal flags collapse into one zero-copy
+// slab on a Slabber source, and the context is checked once per block. The
+// scanned/pruned counts are returned so shard partials can report them.
+func (sc *Scan) piecesBlocks(ctx context.Context, blocks []int, xlo, xhi float64,
+	fn func(blk *data.Block, lo, hi int, needPred, needX bool) error) (int64, int64, error) {
+
+	src := sc.Src
+	slabber, _ := src.(data.Slabber)
+
+	var scanned, pruned int64
+	defer func() {
+		if scanned > 0 {
+			scanBlocksScanned.Add(scanned)
+		}
+		if pruned > 0 {
+			scanBlocksPruned.Add(pruned)
+		}
+		tr := trace.FromContext(ctx)
+		if scanned > 0 {
+			tr.Count("segment.blocks_scanned", scanned)
+		}
+		if pruned > 0 {
+			tr.Count("segment.blocks_pruned", pruned)
+		}
+	}()
+
+	runS, runE := -1, -1
+	runPred, runX := false, false
+	flush := func() error {
+		if runS < 0 {
+			return nil
+		}
+		blk, ok := slabber.Slab(runS, runE)
+		if !ok {
+			return fmt.Errorf("core: source %q refused slab [%d,%d)", src.Name(), runS, runE)
+		}
+		err := fn(blk, runS, runE, runPred, runX)
+		runS = -1
+		return err
+	}
+	for _, b := range blocks {
+		blo, bhi := src.BlockSpan(b)
+		cs, ce := blo, bhi
+		if cs < sc.Lo {
+			cs = sc.Lo
+		}
+		if ce > sc.Hi {
+			ce = sc.Hi
+		}
+		if cs >= ce {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return scanned, pruned, err
+		}
+		z := src.Zone(b)
+		// Ownership pruning: no point of the block can fall in [xlo, xhi).
+		// Sound under NaN coordinates — zone min/max ignore NaN and NaN
+		// positions are canvas-culled before the ownership test runs.
+		if z.X.Max < xlo || z.X.Min >= xhi {
+			pruned++
+			if err := flush(); err != nil {
+				return scanned, pruned, err
+			}
+			continue
+		}
+		ok, full := sc.survives(z)
+		if !ok {
+			pruned++
+			if err := flush(); err != nil {
+				return scanned, pruned, err
+			}
+			continue
+		}
+		scanned++
+		needPred := !full
+		// Every shaded point has non-NaN coordinates inside the zone, so
+		// zone containment proves per-point ownership.
+		needX := !(xlo <= z.X.Min && z.X.Max < xhi)
+		if slabber != nil {
+			if runS >= 0 && runE == cs && runPred == needPred && runX == needX {
+				runE = ce
+				continue
+			}
+			if err := flush(); err != nil {
+				return scanned, pruned, err
+			}
+			runS, runE, runPred, runX = cs, ce, needPred, needX
+			continue
+		}
+		blk, err := src.Block(b)
+		if err != nil {
+			return scanned, pruned, fmt.Errorf("core: decoding block %d of %q: %w", b, src.Name(), err)
+		}
+		if err := fn(blk, cs, ce, needPred, needX); err != nil {
+			return scanned, pruned, err
+		}
+	}
+	return scanned, pruned, flush()
 }
 
 // sourceTimeWindow returns the index range [lo, hi) of points with

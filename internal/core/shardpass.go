@@ -1,0 +1,474 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/raster"
+	"repro/internal/trace"
+)
+
+// This file implements the compute halves of spatially sharded execution:
+// the per-shard partial point pass an executor runs over its block
+// assignment, and the scatter-gather driver the coordinator runs on top of
+// the ordinary tile pipeline.
+//
+// The byte-identity argument, in full (see DESIGN.md "Deterministic
+// shard-order merge"):
+//
+// Shards own half-open world-x ranges [xlo, xhi) cut at cell boundaries, so
+// every point belongs to exactly one shard. The canvas transform is
+// monotone in x, so a shard's points land in a contiguous band of pixel
+// columns, and two shards' points can meet only in the single column that
+// contains the cut between them — the "straddle" column. For every other
+// column, one shard owns every fragment of every pixel, and because the
+// shard scans its blocks in ascending index order the per-pixel fragment
+// sequence is exactly the unsharded scan's sequence restricted to that
+// pixel: the float folds (+=, min, max) run over the same values in the
+// same order and produce the same bits. Straddle columns are excluded from
+// the shard-local folds; their fragments come back raw, tagged with the
+// global point index, and the coordinator replays them through the
+// unchanged pass-1 shader in ascending index order — again the unsharded
+// per-pixel order. After the gather the textures and boundary bins are
+// bit-for-bit what a local pass 1 would have produced, and passes 2 and 3
+// run the identical regionPasses code, so the entire Result is
+// byte-identical at any shard count.
+
+// Obs is one retained boundary observation of a shard partial: the point's
+// coordinates (for the exact fix-up test) and its aggregated value.
+type Obs struct {
+	X, Y, V float64
+}
+
+// ShardFrag is one raw fragment from a straddle column: the pixel it landed
+// in, the observation, and the global point index the coordinator replays
+// by.
+type ShardFrag struct {
+	Idx    int64
+	Px, Py int32
+	X, Y   float64
+	V      float64
+}
+
+// ShardPartial is one shard's contribution to one tile: band-limited
+// texture buffers over the shard's owned pixel columns [ColLo, ColHi),
+// straddle-column fragments in ascending global index order, boundary bins
+// for owned columns, and scan accounting.
+type ShardPartial struct {
+	// ColLo, ColHi bound the shard's pixel-column band (half-open). Cells
+	// in straddle columns inside the band are never written.
+	ColLo, ColHi int
+	// Count is always present; exactly one of Sum/Min/Max is non-nil,
+	// matching the aggregate. Buffers are row-major over the band:
+	// index py*(ColHi-ColLo) + (px-ColLo).
+	Count, Sum, Min, Max []float64
+	// Frags are the straddle-column fragments, ascending by Idx.
+	Frags []ShardFrag
+	// Bins are the boundary-pixel observations for owned columns, indexed
+	// by the spec's slot map (nil in approximate mode).
+	Bins [][]Obs
+	// Scanned/Pruned count blocks; Points counts shaded fragments.
+	Scanned, Pruned int64
+	Points          int64
+}
+
+// ScatterPlan is what the scatter-gather driver needs from a coordinator:
+// the shard cut positions (to derive straddle columns per tile) and the
+// fan-out itself. Scatter must return one partial per shard, in shard
+// order, or an error; a non-nil error must already be the deterministic
+// first failure (see internal/shard).
+type ScatterPlan interface {
+	Cuts() []float64
+	Scatter(ctx context.Context, spec *ShardSpec) ([]*ShardPartial, error)
+}
+
+// ShardSpec describes one canvas tile's partial point pass. Everything an
+// executor needs travels in the spec — plain data next to the request — so
+// a network transport only has to marshal it alongside a dataset/epoch
+// reference.
+type ShardSpec struct {
+	Req Request
+	// Tile is the world-to-pixel transform of this canvas tile.
+	Tile raster.Transform
+	// AttrIdx is the aggregated attribute's column position (-1 when the
+	// aggregate needs none).
+	AttrIdx int
+	// Straddle lists the tile-local pixel columns containing a shard cut:
+	// excluded from shard-local folds, returned as raw fragments.
+	Straddle []int
+	// SlotOf maps pixel index py*Tile.W+px to a boundary-bin slot (-1
+	// elsewhere); nil in approximate mode. NumSlots sizes the bins.
+	SlotOf   []int32
+	NumSlots int
+	// Batch is the cancellation/fault-poll granularity in points (<= 0:
+	// one batch per scan piece). Prune enables zone-map block pruning.
+	Batch int
+	Prune bool
+}
+
+// xCol returns the pixel column world-x x falls into, clamped to the grid.
+// The transform divides by a positive pixel width and truncates, so the
+// mapping is monotone non-decreasing in x — the property the straddle-column
+// argument rests on.
+func xCol(t raster.Transform, x float64) int {
+	px := int((x - t.World.MinX) / t.PixelWidth())
+	if px < 0 {
+		px = 0
+	}
+	if px >= t.W {
+		px = t.W - 1
+	}
+	return px
+}
+
+// ShardPointPass runs one shard's partial point pass: scan the assigned
+// blocks (ascending), keep the points the shard owns (world-x in
+// [xlo, xhi)), and fold them into band-limited texture buffers — except
+// fragments in straddle columns, which are returned raw with their global
+// point index. The context and the `core.pointpass` fault site are polled
+// once per batch, exactly like the local pass.
+func ShardPointPass(ctx context.Context, spec *ShardSpec, xlo, xhi float64, blocks []int) (*ShardPartial, error) {
+	sc, err := newScanPrune(spec.Req, spec.Prune)
+	if err != nil {
+		return nil, err
+	}
+	t := spec.Tile
+	sc.setWorld(t.World)
+	w, h := t.W, t.H
+
+	straddle := make([]bool, w)
+	for _, px := range spec.Straddle {
+		if px >= 0 && px < w {
+			straddle[px] = true
+		}
+	}
+
+	// The shard's owned band: its points have x in [xlo, xhi) ∩ window, so
+	// by monotonicity their columns lie in [colLo, colHi).
+	colLo, colHi := 0, w
+	if !math.IsInf(xlo, -1) && xlo > t.World.MinX {
+		if xlo > t.World.MaxX {
+			colLo = w // nothing visible
+		} else {
+			colLo = xCol(t, xlo)
+		}
+	}
+	if !math.IsInf(xhi, 1) && xhi < t.World.MaxX {
+		if xhi < t.World.MinX {
+			colHi = 0
+		} else {
+			colHi = xCol(t, xhi) + 1
+		}
+	}
+	if colHi < colLo {
+		colHi = colLo
+	}
+	bandW := colHi - colLo
+
+	p := &ShardPartial{ColLo: colLo, ColHi: colHi}
+	p.Count = make([]float64, bandW*h)
+	switch spec.Req.Agg {
+	case Sum, Avg:
+		p.Sum = make([]float64, bandW*h)
+	case Min:
+		p.Min = make([]float64, bandW*h)
+		for i := range p.Min {
+			p.Min[i] = math.Inf(1)
+		}
+	case Max:
+		p.Max = make([]float64, bandW*h)
+		for i := range p.Max {
+			p.Max[i] = math.Inf(-1)
+		}
+	}
+	if spec.SlotOf != nil {
+		p.Bins = make([][]Obs, spec.NumSlots)
+	}
+
+	tr := trace.FromContext(ctx)
+	var scanned, pruned int64
+	scanned, pruned, err = sc.piecesBlocks(ctx, blocks, xlo, xhi, func(blk *data.Block, lo, hi int, needPred, needX bool) error {
+		base := blk.Base
+		var attr []float64
+		if spec.AttrIdx >= 0 {
+			attr = blk.Attr[spec.AttrIdx]
+		}
+		batch := spec.Batch
+		if batch <= 0 {
+			batch = hi - lo
+		}
+		for s := lo; s < hi; s += batch {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fault.Inject(ctx, "core.pointpass"); err != nil {
+				return err
+			}
+			e := s + batch
+			if e > hi {
+				e = hi
+			}
+			for i := s; i < e; i++ {
+				j := i - base
+				x, y := blk.X[j], blk.Y[j]
+				px, py, ok := t.ToPixel(geom.Point{X: x, Y: y})
+				if !ok {
+					continue // canvas-culled, exactly like DrawPoints
+				}
+				if needX && !(x >= xlo && x < xhi) {
+					continue // another shard owns this point
+				}
+				if needPred && !sc.pred(blk, i) {
+					continue // fragment discarded by the filter condition
+				}
+				var v float64
+				if attr != nil {
+					v = attr[j]
+				}
+				p.Points++
+				if straddle[px] {
+					p.Frags = append(p.Frags, ShardFrag{
+						Idx: int64(i), Px: int32(px), Py: int32(py), X: x, Y: y, V: v,
+					})
+					continue
+				}
+				bi := py*bandW + (px - colLo)
+				p.Count[bi]++
+				switch {
+				case p.Sum != nil:
+					//lint:ignore floataccum must mirror Texture.Add's naive fold exactly — compensating here would break bit-identity with the unsharded pass
+					p.Sum[bi] += v
+				case p.Min != nil:
+					if v < p.Min[bi] {
+						p.Min[bi] = v
+					}
+				case p.Max != nil:
+					if v > p.Max[bi] {
+						p.Max[bi] = v
+					}
+				}
+				if p.Bins != nil {
+					if sl := spec.SlotOf[py*w+px]; sl >= 0 {
+						p.Bins[sl] = append(p.Bins[sl], Obs{X: x, Y: y, V: v})
+					}
+				}
+			}
+			tr.Count("shard.batches", 1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Scanned, p.Pruned = scanned, pruned
+	return p, nil
+}
+
+// JoinScattered is JoinContext with the point pass scattered across shard
+// executors: per canvas tile the driver fans out through plan.Scatter,
+// merges the partials in ascending shard order, replays straddle fragments
+// in global point-index order, and runs the unchanged region passes on the
+// merged textures. Only the points-first strategy decomposes bit-exactly
+// (polygons-first folds region-keyed accumulators in point order, which a
+// spatial partition cannot reproduce), so other strategies are rejected —
+// the planner falls back to the local path for them.
+func (r *RasterJoin) JoinScattered(ctx context.Context, req Request, plan ScatterPlan) (*Result, error) {
+	if r.strategy != PointsFirst {
+		return nil, fmt.Errorf("core: scattered execution requires the points-first strategy, have %s", r.strategy)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// Same whole-join fault site as the local path.
+	if err := fault.Inject(ctx, "core.join"); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:     make([]RegionStat, req.Regions.Len()),
+		Algorithm: r.Name(),
+	}
+	window := req.Regions.Bounds()
+	src := req.Data()
+	if window.IsEmpty() || src.Len() == 0 {
+		return res, nil
+	}
+
+	full := r.fullTransform(window)
+	res.CanvasW, res.CanvasH = full.W, full.H
+	res.PixelSize = full.PixelWidth()
+
+	attrIdx := -1
+	if req.Agg.NeedsAttr() {
+		attrIdx = data.AttrIndex(src, req.Attr)
+	}
+
+	tr := trace.FromContext(ctx)
+	err := r.dev.Tiles(full, func(c *gpu.Canvas, offX, offY int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res.Tiles++
+		tr.Count("tiles", 1)
+		return r.renderTileScattered(ctx, c, req, res.Stats, plan, attrIdx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// renderTileScattered is renderTile with pass 1 scattered: region prep and
+// passes 2/3 run locally and are code-identical to the local tile.
+func (r *RasterJoin) renderTileScattered(ctx context.Context, c *gpu.Canvas, req Request, stats []RegionStat,
+	plan ScatterPlan, attrIdx int) error {
+
+	w, h := c.T.W, c.T.H
+	tr := trace.FromContext(ctx)
+
+	sp, err := r.cachedSpans(ctx, req.Regions, c.T)
+	if err != nil {
+		return err
+	}
+	var slotOf []int32
+	var bins [][]obs
+	var regionPixels [][]int32
+	if r.mode == Accurate {
+		slotOf, bins, regionPixels = r.prepareAccurate(c, req.Regions, sp)
+	}
+
+	// Straddle columns: the pixel column each in-window cut falls into. By
+	// monotonicity of the transform these are the only columns where two
+	// shards' points can meet.
+	var straddle []int
+	for _, cut := range plan.Cuts() {
+		if cut < c.T.World.MinX || cut > c.T.World.MaxX {
+			continue
+		}
+		px := xCol(c.T, cut)
+		if n := len(straddle); n == 0 || straddle[n-1] != px {
+			straddle = append(straddle, px)
+		}
+	}
+
+	spec := &ShardSpec{
+		Req:      req,
+		Tile:     c.T,
+		AttrIdx:  attrIdx,
+		Straddle: straddle,
+		SlotOf:   slotOf,
+		NumSlots: len(bins),
+		Batch:    r.pointBatch,
+		Prune:    r.blockPrune,
+	}
+
+	span := tr.Start("shard.scatter")
+	partials, err := plan.Scatter(ctx, spec)
+	span.End()
+	if err != nil {
+		return err // nothing acquired yet — no render resources to release
+	}
+
+	// Gather. Textures are acquired only after a successful scatter and
+	// released on every exit path, including cancellation during the
+	// region passes.
+	span = tr.Start("shard.gather")
+	countTex := r.dev.AcquireTexture(w, h)
+	defer r.dev.ReleaseTexture(countTex)
+	var sumTex, minTex, maxTex *gpu.Texture
+	switch req.Agg {
+	case Sum, Avg:
+		sumTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(sumTex)
+	case Min:
+		minTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(minTex)
+		minTex.Fill(math.Inf(1))
+	case Max:
+		maxTex = r.dev.AcquireTexture(w, h)
+		defer r.dev.ReleaseTexture(maxTex)
+		maxTex.Fill(math.Inf(-1))
+	}
+	// `shard.gather` is a fault injection site between acquisition and the
+	// merge: an injected failure here proves the release discipline of the
+	// gather path.
+	if err := fault.Inject(ctx, "shard.gather"); err != nil {
+		span.End()
+		return err
+	}
+
+	isStraddle := make([]bool, w)
+	for _, px := range straddle {
+		isStraddle[px] = true
+	}
+
+	// Merge bands in ascending shard order. Owned interior columns are
+	// written by exactly one shard, so this is a copy, not a fold.
+	var frags []ShardFrag
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		bandW := p.ColHi - p.ColLo
+		for px := p.ColLo; px < p.ColHi; px++ {
+			if isStraddle[px] {
+				continue
+			}
+			for py := 0; py < h; py++ {
+				bi := py*bandW + (px - p.ColLo)
+				cnt := p.Count[bi]
+				if cnt == 0 {
+					continue
+				}
+				ti := py*w + px
+				countTex.Data[ti] = cnt
+				switch {
+				case sumTex != nil:
+					sumTex.Data[ti] = p.Sum[bi]
+				case minTex != nil:
+					minTex.Data[ti] = p.Min[bi]
+				case maxTex != nil:
+					maxTex.Data[ti] = p.Max[bi]
+				}
+			}
+		}
+		for sl := range p.Bins {
+			for _, o := range p.Bins[sl] {
+				bins[sl] = append(bins[sl], obs{x: o.X, y: o.Y, v: o.V})
+			}
+		}
+		frags = append(frags, p.Frags...)
+	}
+
+	// Replay straddle fragments in ascending global point index — the
+	// unsharded per-pixel fragment order — through the unchanged pass-1
+	// shader. Indices are unique (each point has one owner), so the sort
+	// is total and the replay deterministic.
+	sort.Slice(frags, func(i, j int) bool { return frags[i].Idx < frags[j].Idx })
+	for _, f := range frags {
+		px, py := int(f.Px), int(f.Py)
+		countTex.Add(px, py, 1)
+		switch {
+		case sumTex != nil:
+			sumTex.Add(px, py, f.V)
+		case minTex != nil:
+			minTex.TakeMin(px, py, f.V)
+		case maxTex != nil:
+			maxTex.TakeMax(px, py, f.V)
+		}
+		if slotOf != nil {
+			if sl := slotOf[py*w+px]; sl >= 0 {
+				bins[sl] = append(bins[sl], obs{x: f.X, y: f.Y, v: f.V})
+			}
+		}
+	}
+	span.End()
+
+	return r.regionPasses(ctx, c, req, stats, sp,
+		countTex, sumTex, minTex, maxTex, slotOf, bins, regionPixels, attrIdx)
+}

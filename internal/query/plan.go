@@ -30,6 +30,15 @@ type SourceCatalog interface {
 	PointSource(name string) (data.PointSource, bool)
 }
 
+// ShardRouter is the planner's view of a scatter-gather coordinator
+// (internal/shard.Coordinator implements it). CanServe rejects requests
+// whose fold would not decompose bit-exactly across shards; those fall
+// back to the plain raster path.
+type ShardRouter interface {
+	core.Joiner
+	CanServe(req core.Request) error
+}
+
 // Plan is a routed, ready-to-execute query.
 type Plan struct {
 	Query   Query
@@ -58,6 +67,12 @@ type Planner struct {
 	Slabs *tcache.Joiner
 	// Raster answers everything the cubes cannot. Required.
 	Raster *core.RasterJoin
+	// Shards, when non-nil, replaces the local raster path with sharded
+	// scatter-gather execution for requests that decompose bit-exactly
+	// (ShardRouter.CanServe). Because sharded results are byte-identical
+	// to the local path, this routing keeps the raster Reason string:
+	// topology is an execution detail, not a different answer.
+	Shards ShardRouter
 	// Exact, when non-nil, replaces Raster for queries that demand exact
 	// results (Plan with exact=true).
 	Exact core.Joiner
@@ -116,6 +131,9 @@ func (pl *Planner) Plan(q Query, cat Catalog) (*Plan, error) {
 	}
 	reason := "ad-hoc query routed to raster join"
 	var j core.Joiner = pl.Raster
+	if pl.Shards != nil && pl.Exact == nil && pl.Shards.CanServe(req) == nil {
+		j = pl.Shards
+	}
 	if pl.Exact != nil {
 		j = pl.Exact
 		reason = "exact engine override"

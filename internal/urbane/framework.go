@@ -22,6 +22,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/geoblocks"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/tcache"
 )
 
@@ -173,6 +174,32 @@ func (f *Framework) Incremental() *tcache.Joiner {
 	return f.planner.Slabs
 }
 
+// EnableSharding splits ad-hoc raster execution across n spatial shards
+// behind a scatter-gather coordinator: the planner routes every request the
+// coordinator can decompose bit-exactly through it, and everything else
+// (polygons-first, cubes, geoblocks, slabs) is untouched. Unlike the other
+// engine toggles this does NOT bump the catalog version: sharded answers
+// are byte-identical to the local path — same stats, same Algorithm and
+// Reason strings, same PNG bodies — so every cached response stays valid
+// and ETags match across sharded and unsharded servers by construction.
+func (f *Framework) EnableSharding(n int) *shard.Coordinator {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := shard.New(f.planner.Raster, n)
+	f.planner.Shards = c
+	return c
+}
+
+// Sharding returns the scatter-gather coordinator, or nil when disabled.
+func (f *Framework) Sharding() *shard.Coordinator {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if c, ok := f.planner.Shards.(*shard.Coordinator); ok {
+		return c
+	}
+	return nil
+}
+
 // AppendInfo summarizes one Append: how the catalog and the incremental
 // structures moved.
 type AppendInfo struct {
@@ -257,6 +284,11 @@ func (f *Framework) Append(ctx context.Context, name string, tail *data.PointSet
 	f.points[name] = grown
 	f.epochs[name]++
 	info.Epoch = f.epochs[name]
+	if c, ok := f.planner.Shards.(*shard.Coordinator); ok {
+		// Keep the cuts fixed so appended points route to the shard that
+		// already owns their x range; only block assignment is re-derived.
+		c.Patch(name, grown.Source())
+	}
 	return info, nil
 }
 
@@ -427,6 +459,9 @@ func (f *Framework) ExecuteContext(ctx context.Context, req core.Request) (*core
 	}
 	if pl.Slabs != nil && pl.Exact == nil && pl.Slabs.CanServe(req) == nil {
 		return pl.Slabs.JoinContext(ctx, req)
+	}
+	if pl.Shards != nil && pl.Exact == nil && pl.Shards.CanServe(req) == nil {
+		return core.JoinContext(ctx, pl.Shards, req)
 	}
 	return pl.Raster.JoinContext(ctx, req)
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/segment"
+	"repro/internal/shard"
 	"repro/internal/tcache"
 	"repro/internal/trace"
 )
@@ -611,6 +612,7 @@ type statsResponse struct {
 	Admission      admit.Stats           `json:"admission"`
 	Segments       segmentsStats         `json:"segments"`
 	Incremental    incrementalStats      `json:"incremental"`
+	Sharding       shardingStats         `json:"sharding"`
 	Gauges         map[string]int64      `json:"gauges"`
 	Endpoints      []trace.EndpointStats `json:"endpoints"`
 }
@@ -635,6 +637,16 @@ type segmentsStats struct {
 	BlocksScanned int64              `json:"blocksScanned"`
 	BlocksPruned  int64              `json:"blocksPruned"`
 	Cache         segment.CacheStats `json:"cache"`
+}
+
+// shardingStats reports scatter-gather execution: the shard count, cached
+// per-dataset layouts, and each executor slot's liveness and gauges in
+// shard order.
+type shardingStats struct {
+	Enabled  bool              `json:"enabled"`
+	Shards   int               `json:"shards"`
+	Layouts  int               `json:"layouts"`
+	PerShard []shard.NodeStats `json:"perShard"`
 }
 
 // handleStats reports the server's request statistics: GET /api/stats.
@@ -666,6 +678,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		inc.SlabsRecomputed = j.SlabsRecomputed()
 		inc.Cache = j.Cache().Stats()
 	}
+	var sh shardingStats
+	if c := s.f.Sharding(); c != nil {
+		sh = shardingStats{
+			Enabled: true, Shards: c.NumShards(), Layouts: c.Layouts(),
+			PerShard: c.Stats(),
+		}
+		for _, ns := range sh.PerShard {
+			pfx := "shard." + strconv.Itoa(ns.Shard)
+			s.metrics.SetGauge(pfx+".inflight", ns.Inflight)
+			s.metrics.SetGauge(pfx+".scanned", ns.BlocksScanned)
+			s.metrics.SetGauge(pfx+".merged", ns.Merged)
+		}
+	}
 	// Mirror the admission snapshot into the trace registry's gauge map so
 	// any consumer of the registry sees shed/queued/inflight without knowing
 	// about the admit package.
@@ -683,6 +708,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission:      adm,
 		Segments:       seg,
 		Incremental:    inc,
+		Sharding:       sh,
 		Gauges:         s.metrics.Gauges(),
 		Endpoints:      s.metrics.Snapshot(),
 	})

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMixedDeterministic(t *testing.T) {
+	a := NewMixed(testMixConfig(), 7)
+	b := NewMixed(testMixConfig(), 7)
+	for i := 0; i < 600; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("req %d diverged:\n  %+v\n  %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestMixedInterleaveTargetsDatasets pins the six-step cycle: every request
+// must mention exactly the dataset the step position promises, and the two
+// append steps hit the ingest endpoint while the four read steps never do.
+// Tests that attribute cache warmth per dataset rely on this schedule.
+func TestMixedInterleaveTargetsDatasets(t *testing.T) {
+	cfg := testMixConfig()
+	m := NewMixed(cfg, 11)
+	appends := map[string]int{}
+	for i := 0; i < 600; i++ {
+		ds := cfg.Datasets[m.Dataset(i)]
+		other := cfg.Datasets[1-m.Dataset(i)]
+		wantAppend := m.IsAppend(i)
+		r := m.Next()
+		if !strings.HasPrefix(r.Kind, "mixed."+ds+".") {
+			t.Fatalf("step %d: kind %q, want dataset %q", i, r.Kind, ds)
+		}
+		// GET paths carry the dataset in the query string; POST bodies name
+		// it in a JSON field or SQL FROM clause. Either way the other
+		// dataset must never be referenced (bare substring matching would
+		// false-positive on digits inside float literals).
+		refs := func(name string) bool {
+			return strings.Contains(r.Path, "dataset="+name) ||
+				strings.Contains(r.Body, `"dataset":"`+name+`"`) ||
+				strings.Contains(r.Body, `"datasets":["`+name+`"]`) ||
+				strings.Contains(r.Body, "FROM "+name+",")
+		}
+		if !refs(ds) && r.Kind != "mixed."+ds+".stats" && r.Kind != "mixed."+ds+".cachestats" {
+			t.Fatalf("step %d: request %+v does not target %q", i, r, ds)
+		}
+		if refs(other) {
+			t.Fatalf("step %d: request for %q leaks dataset %q: %+v", i, ds, other, r)
+		}
+		if got := r.Path == "/api/append"; got != wantAppend {
+			t.Fatalf("step %d: append=%v, want %v (%+v)", i, got, wantAppend, r)
+		}
+		if wantAppend {
+			appends[ds]++
+		}
+	}
+	if appends[cfg.Datasets[0]] != 100 || appends[cfg.Datasets[1]] != 100 {
+		t.Fatalf("append balance off: %v", appends)
+	}
+}
